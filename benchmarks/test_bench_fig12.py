@@ -1,0 +1,33 @@
+"""Benchmark: Fig. 12 (Exp-1) — queries Qa-Qd over the cross-cycle DTD.
+
+One benchmark per (query, approach) pair, all over the same scaled dataset.
+The paper's finding to check in the emitted numbers: X (CycleEX) is fastest
+or close to it on every query, E (CycleE) trails X, and R (SQLGen-R) falls
+behind as the document gets deeper (Fig. 12 a/c/e/g).
+"""
+
+import pytest
+
+from repro.experiments.harness import default_approaches
+from repro.relational.executor import Executor
+from repro.workloads.queries import CROSS_QUERIES
+
+APPROACHES = {approach.name: approach for approach in default_approaches()}
+
+
+@pytest.mark.parametrize("query_name", sorted(CROSS_QUERIES))
+@pytest.mark.parametrize("approach_name", ["R", "E", "X"])
+def test_fig12_query_evaluation(benchmark, cross_dataset, query_name, approach_name):
+    dtd, tree, shredded = cross_dataset
+    approach = APPROACHES[approach_name]
+    translator = approach.translator(dtd)
+    program = translator.translate(CROSS_QUERIES[query_name]).program
+
+    def run():
+        return Executor(shredded.database).run(program)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["approach"] = approach_name
+    benchmark.extra_info["document_elements"] = tree.size()
+    benchmark.extra_info["result_rows"] = len(result)

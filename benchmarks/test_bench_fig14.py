@@ -1,0 +1,46 @@
+"""Benchmark: Fig. 14 (Exp-3) — scalability of a//d with the dataset size.
+
+Two scaled dataset sizes, three approaches.  The paper's finding: all three
+grow with the dataset, with CycleEX cheapest and CycleE most expensive at
+the largest size (2.4x CycleEX in the paper; the ratio here depends on the
+in-memory engine but the ordering should match).
+"""
+
+import pytest
+
+from repro.dtd.samples import cross_dtd
+from repro.experiments.harness import default_approaches
+from repro.relational.executor import Executor
+from repro.shredding.shredder import shred_document
+from repro.workloads.queries import SCALABILITY_QUERY
+from repro.xmltree.generator import generate_document
+
+APPROACHES = {approach.name: approach for approach in default_approaches()}
+SIZES = (1500, 3000, 6000)
+
+
+@pytest.fixture(scope="module")
+def scalability_datasets():
+    dtd = cross_dtd()
+    datasets = {}
+    for size in SIZES:
+        tree = generate_document(dtd, x_l=16, x_r=4, seed=5, max_elements=size)
+        datasets[size] = (tree, shred_document(tree, dtd))
+    return dtd, datasets
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("approach_name", ["R", "E", "X"])
+def test_fig14_scalability(benchmark, scalability_datasets, size, approach_name):
+    dtd, datasets = scalability_datasets
+    tree, shredded = datasets[size]
+    translator = APPROACHES[approach_name].translator(dtd)
+    program = translator.translate(SCALABILITY_QUERY).program
+
+    def run():
+        return Executor(shredded.database).run(program)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["approach"] = approach_name
+    benchmark.extra_info["document_elements"] = tree.size()
+    benchmark.extra_info["result_rows"] = len(result)

@@ -1,0 +1,36 @@
+"""Benchmark: Fig. 16 (Exp-4a) — the Table 4 cases over BIOML DTD extracts.
+
+All cases run over the same dataset generated from the largest (4-cycle)
+BIOML DTD, each translated over its own extracted sub-DTD, exactly as in the
+paper.  Expected shape: CycleEX beats SQLGen-R and CycleE on (nearly) every
+case, with the gap growing with the number of cycles.
+"""
+
+import pytest
+
+from repro.experiments.harness import default_approaches
+from repro.relational.executor import Executor
+from repro.workloads.queries import BIOML_CASES
+
+APPROACHES = {approach.name: approach for approach in default_approaches()}
+CASES = {case.name: case for case in BIOML_CASES}
+
+
+@pytest.mark.parametrize("case_name", sorted(CASES))
+@pytest.mark.parametrize("approach_name", ["R", "E", "X"])
+def test_fig16_bioml_cases(benchmark, bioml_dataset, case_name, approach_name):
+    _, tree, shredded = bioml_dataset
+    case = CASES[case_name]
+    case_dtd = case.dtd()
+    translator = APPROACHES[approach_name].translator(case_dtd)
+    program = translator.translate(case.query).program
+
+    def run():
+        return Executor(shredded.database).run(program)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["case"] = case_name
+    benchmark.extra_info["query"] = case.query
+    benchmark.extra_info["cycles"] = case.cycles
+    benchmark.extra_info["approach"] = approach_name
+    benchmark.extra_info["result_rows"] = len(result)

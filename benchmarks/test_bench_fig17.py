@@ -1,0 +1,46 @@
+"""Benchmark: Fig. 17 (Exp-4b) — even//data over the 9-cycle GedML DTD.
+
+The paper varies the document shape (X_L and X_R); here two shapes are
+benchmarked per approach.  Expected shape: CycleEX outperforms CycleE
+clearly and tracks or beats SQLGen-R.
+"""
+
+import pytest
+
+from repro.dtd.samples import gedml_dtd
+from repro.experiments.harness import default_approaches
+from repro.relational.executor import Executor
+from repro.shredding.shredder import shred_document
+from repro.workloads.queries import GEDML_QUERY
+from repro.xmltree.generator import generate_document
+
+APPROACHES = {approach.name: approach for approach in default_approaches()}
+SHAPES = {"deep": (12, 3), "wide": (8, 6)}
+
+
+@pytest.fixture(scope="module")
+def gedml_shaped_datasets():
+    dtd = gedml_dtd()
+    datasets = {}
+    for name, (x_l, x_r) in SHAPES.items():
+        tree = generate_document(dtd, x_l=x_l, x_r=x_r, seed=37, max_elements=2500)
+        datasets[name] = (tree, shred_document(tree, dtd))
+    return dtd, datasets
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@pytest.mark.parametrize("approach_name", ["R", "E", "X"])
+def test_fig17_gedml(benchmark, gedml_shaped_datasets, shape, approach_name):
+    dtd, datasets = gedml_shaped_datasets
+    tree, shredded = datasets[shape]
+    translator = APPROACHES[approach_name].translator(dtd)
+    program = translator.translate(GEDML_QUERY).program
+
+    def run():
+        return Executor(shredded.database).run(program)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["shape"] = f"{shape} (XL={SHAPES[shape][0]}, XR={SHAPES[shape][1]})"
+    benchmark.extra_info["approach"] = approach_name
+    benchmark.extra_info["document_elements"] = tree.size()
+    benchmark.extra_info["result_rows"] = len(result)

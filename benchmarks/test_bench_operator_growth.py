@@ -1,0 +1,36 @@
+"""Benchmark: Example 4.2 — CycleE vs CycleEX on the complete-DAG family D1(n).
+
+Benchmarks rec(A1, An) construction for growing n.  CycleE's output (and
+hence its running time) grows exponentially with n while CycleEX stays
+polynomial; the '/'-operator counts are recorded as extra info so the
+2^n-vs-n^2 separation is visible in the benchmark report.
+"""
+
+import pytest
+
+from repro.core.cycleex import CycleEXIndex
+from repro.core.tarjan import CycleE
+from repro.dtd.graph import DTDGraph
+from repro.dtd.samples import complete_dag_dtd
+from repro.expath.metrics import count_operators
+
+SIZES = (6, 9, 12)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ["CycleE", "CycleEX"])
+def test_operator_growth(benchmark, n, algorithm):
+    dtd = complete_dag_dtd(n)
+    graph = DTDGraph(dtd)
+
+    def run():
+        if algorithm == "CycleE":
+            expr = CycleE(graph).rec("A1", f"A{n}")
+            return count_operators(expr).slashes
+        query = CycleEXIndex(graph).rec("A1", f"A{n}")
+        return count_operators(query).slashes
+
+    slashes = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["slash_operators"] = slashes

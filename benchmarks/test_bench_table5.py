@@ -1,0 +1,69 @@
+"""Benchmark: Table 5 (Exp-5) — CycleE vs CycleEX translation cost and size.
+
+Benchmarks the *translation* (rec(A, B) construction plus lowering to
+relational algebra) for every reachable pair of each Table 5 DTD, and
+records the operator statistics as extra info.  Expected shape: CycleEX
+produces strictly fewer LFP operators and fewer total operators, and its
+translation stays cheap on the 9-cycle GedML DTD where CycleE blows up.
+"""
+
+import pytest
+
+from repro.core.cycleex import CycleEXIndex
+from repro.core.expath_to_sql import ExtendedToSQL
+from repro.core.optimize import standard_options
+from repro.core.tarjan import CycleE
+from repro.dtd.graph import DTDGraph
+from repro.dtd import samples
+from repro.expath.ast import ExtendedXPathQuery
+from repro.shredding.inlining import SimpleMapping
+
+DTDS = {
+    "cross": samples.cross_dtd,
+    "bioml": samples.bioml_dtd,
+    "gedml": samples.gedml_dtd,
+}
+
+
+def _reachable_pairs(graph):
+    return [
+        (source, target)
+        for source in graph.nodes
+        for target in graph.nodes
+        if target in graph.reachable(source)
+    ]
+
+
+@pytest.mark.parametrize("dtd_name", sorted(DTDS))
+@pytest.mark.parametrize("algorithm", ["CycleE", "CycleEX"])
+def test_table5_translation(benchmark, dtd_name, algorithm):
+    dtd = DTDS[dtd_name]()
+    graph = DTDGraph(dtd)
+    pairs = _reachable_pairs(graph)
+    lowering = ExtendedToSQL(SimpleMapping(dtd), standard_options())
+
+    def run():
+        lfp_counts = []
+        total_counts = []
+        if algorithm == "CycleE":
+            table = CycleE(graph)
+            queries = [ExtendedXPathQuery([], table.rec(s, t)) for s, t in pairs]
+        else:
+            index = CycleEXIndex(graph)
+            queries = [index.rec(s, t) for s, t in pairs]
+        for query in queries:
+            profile = lowering.translate(query).operator_profile()
+            lfp_counts.append(profile.lfps)
+            total_counts.append(profile.total)
+        return lfp_counts, total_counts
+
+    lfp_counts, total_counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dtd"] = dtd_name
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["lfp_min_max_avg"] = (
+        min(lfp_counts), max(lfp_counts), round(sum(lfp_counts) / len(lfp_counts), 1)
+    )
+    benchmark.extra_info["all_min_max_avg"] = (
+        min(total_counts), max(total_counts), round(sum(total_counts) / len(total_counts), 1)
+    )

@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Query Translation from XPath to SQL in the Presence of Recursive DTDs".
+
+The library translates XPath queries over (possibly recursive) DTDs into
+sequences of SQL/relational-algebra queries that use only a simple
+least-fixpoint operator, following Fan, Yu, Li, Ding and Qin (VLDB 2005 /
+VLDB Journal 2009).  It ships every substrate the paper depends on — DTD
+model and graphs, an XML generator and validator, an XPath evaluator, an
+extended-XPath layer, a relational engine with the LFP operator, and
+DTD-based shredding — plus the three translation strategies compared in the
+paper's experiments (CycleEX, CycleE, SQLGen-R) and the experiment harness
+that regenerates every table and figure.
+
+Quickstart
+----------
+>>> from repro import XPathToSQLTranslator, generate_document
+>>> from repro.dtd.samples import dept_dtd
+>>> dtd = dept_dtd()
+>>> translator = XPathToSQLTranslator(dtd)
+>>> document = generate_document(dtd, x_l=6, x_r=3, seed=1)
+>>> shredded = translator.shred(document)
+>>> projects = translator.answer("dept//project", shredded)
+"""
+
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.pipeline import TranslationResult, XPathToSQLTranslator, answer_xpath
+from repro.core.sqlgen_r import SQLGenR
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.relational.sqlgen import SQLDialect
+from repro.shredding.shredder import shred_document
+from repro.views.gav import GAVView
+from repro.xmltree.generator import generate_document
+from repro.xpath.parser import parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DTD",
+    "parse_dtd",
+    "parse_xpath",
+    "generate_document",
+    "shred_document",
+    "XPathToSQLTranslator",
+    "TranslationResult",
+    "TranslationOptions",
+    "DescendantStrategy",
+    "SQLGenR",
+    "SQLDialect",
+    "GAVView",
+    "answer_xpath",
+    "__version__",
+]

@@ -1,0 +1,202 @@
+"""Command-line interface: translate queries, inspect DTDs, run workloads.
+
+Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
+
+``describe``
+    Print the structural summary and productions of a named paper DTD or of
+    a DTD file in the grammar syntax of :func:`repro.dtd.parser.parse_dtd`.
+
+``translate``
+    Translate an XPath query over a DTD into extended XPath, the relational
+    program and SQL text (choose the dialect and the descendant strategy).
+
+``answer``
+    Generate (or load nothing — generation is always synthetic here), shred
+    and answer a query, printing the matching node paths; handy for quickly
+    checking what a translated query returns.
+
+``experiment``
+    Run one of the paper's experiments (exp1..exp5) with ``--quick`` sweeps.
+
+Examples
+--------
+::
+
+    python -m repro describe dept
+    python -m repro translate dept "dept//project" --dialect db2
+    python -m repro translate cross "a/b//c/d" --strategy recursive-union
+    python -m repro answer cross "a//d" --elements 2000 --seed 7
+    python -m repro experiment exp5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.optimize import push_selection_options, standard_options
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.dtd import samples
+from repro.relational.sqlgen import SQLDialect
+from repro.xmltree.generator import generate_document
+
+__all__ = ["main", "build_parser"]
+
+_STRATEGIES = {
+    "cycleex": DescendantStrategy.CYCLEEX,
+    "cyclee": DescendantStrategy.CYCLEE,
+    "recursive-union": DescendantStrategy.RECURSIVE_UNION,
+}
+
+_DIALECTS = {
+    "generic": SQLDialect.GENERIC,
+    "db2": SQLDialect.DB2,
+    "oracle": SQLDialect.ORACLE,
+}
+
+
+def _load_dtd(name_or_path: str) -> DTD:
+    """Resolve a DTD argument: a paper DTD name or a path to a grammar file."""
+    named = samples.paper_dtds()
+    if name_or_path in named:
+        return named[name_or_path]
+    try:
+        with open(name_or_path, "r", encoding="utf-8") as handle:
+            return parse_dtd(handle.read(), name=name_or_path)
+    except FileNotFoundError:
+        known = ", ".join(sorted(named))
+        raise SystemExit(
+            f"unknown DTD {name_or_path!r}: pass one of [{known}] or a DTD file path"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XPath-to-SQL translation over recursive DTDs (Fan et al., VLDB 2005)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser("describe", help="print a DTD and its graph summary")
+    describe.add_argument("dtd", help="paper DTD name (e.g. dept, cross, gedml) or file path")
+
+    translate = commands.add_parser("translate", help="translate an XPath query to SQL")
+    translate.add_argument("dtd", help="paper DTD name or file path")
+    translate.add_argument("query", help="XPath query, e.g. 'dept//project'")
+    translate.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="cycleex",
+        help="descendant-axis expansion (default: cycleex)",
+    )
+    translate.add_argument(
+        "--dialect", choices=sorted(_DIALECTS), default="generic",
+        help="SQL dialect to emit (default: generic)",
+    )
+    translate.add_argument(
+        "--push-selections", action="store_true",
+        help="apply the Sect. 5.2 push-selection optimisation",
+    )
+    translate.add_argument(
+        "--show", choices=["extended", "program", "sql", "all"], default="all",
+        help="which artifact(s) to print",
+    )
+
+    answer = commands.add_parser("answer", help="generate a document, shred it and answer a query")
+    answer.add_argument("dtd", help="paper DTD name or file path")
+    answer.add_argument("query", help="XPath query to answer")
+    answer.add_argument("--elements", type=int, default=2000, help="approximate document size")
+    answer.add_argument("--seed", type=int, default=0, help="generator seed")
+    answer.add_argument("--x-l", type=int, default=10, help="maximum levels (X_L)")
+    answer.add_argument("--x-r", type=int, default=4, help="maximum repetition (X_R)")
+    answer.add_argument("--limit", type=int, default=20, help="print at most this many matches")
+    answer.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="cycleex",
+        help="descendant-axis expansion (default: cycleex)",
+    )
+
+    experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", choices=["exp1", "exp2", "exp3", "exp4", "exp5"])
+    experiment.add_argument("--quick", action="store_true", help="reduced sweep")
+
+    return parser
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd)
+    print(samples.describe(dtd))
+    print()
+    print(dtd.to_text())
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd)
+    options = push_selection_options() if args.push_selections else standard_options()
+    translator = XPathToSQLTranslator(dtd, strategy=_STRATEGIES[args.strategy], options=options)
+    result = translator.translate(args.query)
+    if args.show in ("extended", "all"):
+        print("-- extended XPath --")
+        print(result.extended)
+        print()
+    if args.show in ("program", "all"):
+        print("-- relational program --")
+        print(result.program)
+        print()
+    if args.show in ("sql", "all"):
+        print(f"-- SQL ({args.dialect}) --")
+        print(result.sql(_DIALECTS[args.dialect]))
+    profile = result.operator_profile()
+    print()
+    print(
+        f"-- profile: {profile.joins} joins, {profile.unions} unions, "
+        f"{profile.lfps} LFPs, {profile.recursive_unions} SQL'99 recursions"
+    )
+    return 0
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd)
+    document = generate_document(
+        dtd, x_l=args.x_l, x_r=args.x_r, seed=args.seed, max_elements=args.elements
+    )
+    translator = XPathToSQLTranslator(dtd, strategy=_STRATEGIES[args.strategy])
+    shredded = translator.shred(document)
+    matches = translator.answer(args.query, shredded)
+    print(f"document: {document.size()} elements; matches: {len(matches)}")
+    for node in matches[: args.limit]:
+        path = "/".join(node.path_from_root())
+        value = f" = {node.value!r}" if node.value is not None else ""
+        print(f"  node {node.node_id}: {path}{value}")
+    if len(matches) > args.limit:
+        print(f"  ... and {len(matches) - args.limit} more")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import exp1, exp2, exp3, exp4, exp5
+
+    modules = {"exp1": exp1, "exp2": exp2, "exp3": exp3, "exp4": exp4, "exp5": exp5}
+    module = modules[args.name]
+    argv: List[str] = ["--quick"] if args.quick else []
+    return module.main(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "describe": _cmd_describe,
+        "translate": _cmd_translate,
+        "answer": _cmd_answer,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.__main__
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Algorithm CycleEX: rec(A, B) as a polynomial-size extended XPath query.
+
+CycleEX (Fig. 7) runs the same node-elimination dynamic program as CycleE
+but stores each table entry behind a *variable*: the equation for
+``X[i, j, k]`` references at most four other variables::
+
+    X[i, j, k] = X[i, j, k-1]  UNION  X[i, k, k-1] / S[k, k-1] / X[k, j, k-1]
+    S[k, k-1]  = ( X[k, k, k-1] )*
+
+so the whole system has ``O(n^3)`` constant-size equations instead of an
+exponential-size expression (Theorem 4.1).  The paper's three pruning rules
+(drop ``X = EMPTYSET``, inline alias equations, drop equations the result
+does not need) are applied when a specific ``rec(A, B)`` query is extracted.
+
+The elimination table depends only on the DTD, not on the query, so a
+single :class:`CycleEXIndex` is shared by every ``//`` occurrence of every
+query over that DTD (this is the "precomputed once and for all" remark of
+Sect. 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd.model import DTD
+from repro.expath.ast import (
+    EEmpty,
+    EEmptySet,
+    ELabel,
+    EStar,
+    EVar,
+    Equation,
+    Expr,
+    ExtendedXPathQuery,
+    eslash,
+    eunion,
+)
+from repro.expath.simplify import simplify_query
+
+__all__ = ["CycleEXIndex", "rec_query"]
+
+
+class CycleEXIndex:
+    """The CycleEX elimination table for one DTD graph.
+
+    After construction the index holds, for every ordered pair of element
+    types ``(A, B)``, a variable that is bound (by the index's equation
+    list) to an expression denoting all paths from ``A`` to ``B`` —
+    including the zero-length path when ``A == B`` (descendant-or-self
+    semantics, as required by the translation of ``//``).
+    """
+
+    def __init__(self, graph: DTDGraph, variable_prefix: str = "D") -> None:
+        self._graph = graph
+        self._prefix = variable_prefix
+        self._equations: List[Equation] = []
+        self._final: Dict[Tuple[str, str], Expr] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------------
+
+    def _var(self, name: str, expression: Expr) -> Expr:
+        """Bind ``expression`` to a fresh variable unless it is trivially small."""
+        if isinstance(expression, (EEmpty, EEmptySet, ELabel, EVar)):
+            return expression
+        self._equations.append(Equation(name, expression))
+        return EVar(name)
+
+    def _build(self) -> None:
+        nodes = self._graph.nodes
+        prefix = self._prefix
+        # k = 0 layer: direct edges only.  Table entries denote paths of
+        # length >= 1 throughout; the zero-length path of the
+        # descendant-or-self semantics is added in result_expression() so
+        # that Kleene-closure bases never contain the identity relation.
+        table: Dict[Tuple[str, str], Expr] = {}
+        for i in nodes:
+            for j in nodes:
+                expr: Expr = EEmptySet()
+                if self._graph.has_edge(i, j):
+                    expr = ELabel(j)
+                table[(i, j)] = expr
+
+        for level, k in enumerate(nodes, start=1):
+            loop_body = table[(k, k)]
+            if isinstance(loop_body, (EEmpty, EEmptySet)):
+                loop: Expr = EEmpty()
+            else:
+                loop = self._var(f"{prefix}_S_{level}", EStar(loop_body))
+            updated: Dict[Tuple[str, str], Expr] = {}
+            for i in nodes:
+                into_k = table[(i, k)]
+                for j in nodes:
+                    out_of_k = table[(k, j)]
+                    through = eslash(eslash(into_k, loop), out_of_k)
+                    combined = eunion(table[(i, j)], through)
+                    ni = self._graph.number_of(i)
+                    nj = self._graph.number_of(j)
+                    updated[(i, j)] = self._var(f"{prefix}_{ni}_{nj}_{level}", combined)
+            table = updated
+        self._final = table
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def graph(self) -> DTDGraph:
+        """The underlying DTD graph."""
+        return self._graph
+
+    @property
+    def equations(self) -> List[Equation]:
+        """All equations of the elimination table, in dependency order."""
+        return list(self._equations)
+
+    def result_expression(self, source: str, target: str) -> Expr:
+        """Expression denoting paths ``source -> target`` (descendant-or-self).
+
+        Includes the zero-length path when ``source == target``, as required
+        by the translation of ``//``.
+        """
+        expr = self._final[(source, target)]
+        if source == target:
+            return eunion(EEmpty(), expr)
+        return expr
+
+    def has_path(self, source: str, target: str) -> bool:
+        """True when a path of length >= 1 exists from source to target."""
+        return not isinstance(self._final[(source, target)], EEmptySet)
+
+    def rec(self, source: str, target: str, simplify: bool = True) -> ExtendedXPathQuery:
+        """Return ``rec(source, target)`` as a pruned extended XPath query.
+
+        The returned query's equations are the subset of the elimination
+        table the result depends on; with ``simplify=True`` the paper's
+        pruning rules (alias inlining, dead-equation removal) are applied.
+        """
+        query = ExtendedXPathQuery(self._equations, self.result_expression(source, target))
+        query = query.pruned()
+        if simplify:
+            query = simplify_query(query)
+        return query
+
+
+def rec_query(dtd: DTD, source: str, target: str) -> ExtendedXPathQuery:
+    """Convenience wrapper: build ``rec(source, target)`` over ``dtd`` with CycleEX."""
+    return CycleEXIndex(DTDGraph(dtd)).rec(source, target)

@@ -1,0 +1,141 @@
+"""Optimisations on translated programs (Sect. 5.2).
+
+The two data-dependent optimisations — seeding ``(E)*`` with a small
+relation instead of ``R_id``, and pushing selections into the LFP operator —
+are implemented inside :class:`~repro.core.expath_to_sql.ExtendedToSQL` and
+controlled by :class:`~repro.core.expath_to_sql.TranslationOptions`; this
+module provides the option presets plus program-level clean-ups:
+
+* :func:`eliminate_common_subexpressions` — merge assignments with identical
+  right-hand sides (the "extracting common sub-queries" step of Fig. 10);
+* :func:`baseline_options` / :func:`standard_options` /
+  :func:`push_selection_options` — the three configurations compared by the
+  experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core.expath_to_sql import TranslationOptions
+from repro.relational.algebra import (
+    AntiJoin,
+    Assignment,
+    Compose,
+    Difference,
+    EdgeStep,
+    EquiJoin,
+    Fixpoint,
+    Intersect,
+    Program,
+    Project,
+    RAExpr,
+    RecursiveUnion,
+    Scan,
+    Select,
+    SemiJoin,
+    TagProject,
+    Union,
+)
+
+__all__ = [
+    "baseline_options",
+    "standard_options",
+    "push_selection_options",
+    "eliminate_common_subexpressions",
+]
+
+
+def baseline_options() -> TranslationOptions:
+    """No data-dependent optimisation: full ``R_id`` seeds, unanchored LFPs."""
+    return TranslationOptions(use_small_seed=False, push_selections=False)
+
+
+def standard_options() -> TranslationOptions:
+    """The paper's default implementation: small ``(E)*`` seeds, no push."""
+    return TranslationOptions(use_small_seed=True, push_selections=False)
+
+
+def push_selection_options() -> TranslationOptions:
+    """Small seeds plus selections pushed into the LFP operator (Exp-2)."""
+    return TranslationOptions(use_small_seed=True, push_selections=True)
+
+
+def _rewrite(expr: RAExpr, renames: Dict[str, str]) -> RAExpr:
+    """Rebuild ``expr`` with temporary names substituted per ``renames``."""
+    if isinstance(expr, Scan):
+        return Scan(renames.get(expr.name, expr.name))
+    if isinstance(expr, Select):
+        return Select(_rewrite(expr.input, renames), expr.conditions)
+    if isinstance(expr, Project):
+        return Project(_rewrite(expr.input, renames), expr.columns, expr.aliases)
+    if isinstance(expr, TagProject):
+        return TagProject(_rewrite(expr.input, renames), expr.tag)
+    if isinstance(expr, Compose):
+        return Compose(_rewrite(expr.left, renames), _rewrite(expr.right, renames))
+    if isinstance(expr, EquiJoin):
+        return EquiJoin(
+            _rewrite(expr.left, renames),
+            _rewrite(expr.right, renames),
+            expr.left_column,
+            expr.right_column,
+            expr.output,
+        )
+    if isinstance(expr, SemiJoin):
+        return SemiJoin(
+            _rewrite(expr.left, renames),
+            _rewrite(expr.right, renames),
+            expr.left_column,
+            expr.right_column,
+        )
+    if isinstance(expr, AntiJoin):
+        return AntiJoin(
+            _rewrite(expr.left, renames),
+            _rewrite(expr.right, renames),
+            expr.left_column,
+            expr.right_column,
+        )
+    if isinstance(expr, Union):
+        return Union(tuple(_rewrite(child, renames) for child in expr.inputs))
+    if isinstance(expr, Difference):
+        return Difference(_rewrite(expr.left, renames), _rewrite(expr.right, renames))
+    if isinstance(expr, Intersect):
+        return Intersect(_rewrite(expr.left, renames), _rewrite(expr.right, renames))
+    if isinstance(expr, Fixpoint):
+        return Fixpoint(
+            _rewrite(expr.base, renames),
+            None if expr.source_anchor is None else _rewrite(expr.source_anchor, renames),
+            None if expr.target_anchor is None else _rewrite(expr.target_anchor, renames),
+        )
+    if isinstance(expr, RecursiveUnion):
+        return RecursiveUnion(
+            _rewrite(expr.init, renames),
+            tuple(
+                EdgeStep(_rewrite(step.relation, renames), step.parent_tag, step.child_tag)
+                for step in expr.steps
+            ),
+        )
+    return expr
+
+
+def eliminate_common_subexpressions(program: Program) -> Program:
+    """Merge assignments whose (rename-normalised) expressions are identical.
+
+    Two temporaries computed from structurally equal expressions always hold
+    the same relation, so later references to the duplicate are redirected to
+    the first occurrence and the duplicate assignment is dropped.
+    """
+    renames: Dict[str, str] = {}
+    canonical: Dict[str, str] = {}
+    assignments: List[Assignment] = []
+    for assignment in program.assignments:
+        rewritten = _rewrite(assignment.expression, renames)
+        key = str(rewritten)
+        if key in canonical:
+            renames[assignment.target] = canonical[key]
+            continue
+        canonical[key] = assignment.target
+        assignments.append(Assignment(assignment.target, rewritten))
+    result = _rewrite(program.result, renames)
+    return Program(assignments, result).pruned()

@@ -1,0 +1,108 @@
+"""Algorithm CycleE: Tarjan's path expressions as plain regular expressions.
+
+Given a DTD graph and two element types ``A`` and ``B``, CycleE (Fig. 6)
+computes a regular expression over element-type labels that represents *all*
+paths from ``A`` to ``B`` in the graph, including the zero-length path when
+``A = B``.  A path ``A -> C -> B`` is represented by the step expression
+``C/B`` (the labels after the start node), so the expression is exactly
+``//B`` "instantiated" with the DTD: evaluated at an ``A`` element of a
+conforming document it returns the ``B`` descendants-or-self.
+
+The dynamic program maintains ``M[i][j]`` = expression of all paths from
+node ``i`` to node ``j`` using intermediate nodes numbered ``<= k`` and
+expands ``k`` one node at a time::
+
+    M[i, j, k] = M[i, j, k-1]  UNION  M[i, k, k-1] / (M[k, k, k-1])* / M[k, j, k-1]
+
+Because sub-expressions are copied into the union, the output can be
+exponential in the number of nodes (Lemma 4.1); CycleEX avoids this with
+variables.  CycleE is kept as the baseline "E" of the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd.model import DTD
+from repro.expath.ast import EEmpty, EEmptySet, ELabel, EStar, Expr, eslash, eunion
+from repro.expath.metrics import OperatorCounts, count_operators
+
+__all__ = ["CycleE", "cycle_expression"]
+
+
+class CycleE:
+    """Tarjan's path-expression algorithm over a DTD graph.
+
+    The per-pair expressions are computed lazily and cached: computing
+    ``rec(A, B)`` runs the full ``O(n^3)`` elimination once and then serves
+    any pair from the final table.
+    """
+
+    def __init__(self, graph: DTDGraph) -> None:
+        self._graph = graph
+        self._table: Optional[Dict[Tuple[str, str], Expr]] = None
+
+    @property
+    def graph(self) -> DTDGraph:
+        """The DTD graph the expressions are computed over."""
+        return self._graph
+
+    def _initial_table(self) -> Dict[Tuple[str, str], Expr]:
+        # Table entries denote paths of length >= 1; the zero-length path of
+        # the descendant-or-self semantics is added by rec() when the two
+        # endpoints coincide, keeping closure bases free of the identity.
+        nodes = self._graph.nodes
+        table: Dict[Tuple[str, str], Expr] = {}
+        for i in nodes:
+            for j in nodes:
+                expr: Expr = EEmptySet()
+                if self._graph.has_edge(i, j):
+                    expr = ELabel(j)
+                table[(i, j)] = expr
+        return table
+
+    def _compute(self) -> Dict[Tuple[str, str], Expr]:
+        if self._table is not None:
+            return self._table
+        nodes = self._graph.nodes
+        table = self._initial_table()
+        for k in nodes:
+            loop_body = table[(k, k)]
+            if isinstance(loop_body, (EEmpty, EEmptySet)):
+                loop: Expr = EEmpty()
+            else:
+                loop = EStar(loop_body)
+            updated: Dict[Tuple[str, str], Expr] = {}
+            for i in nodes:
+                into_k = table[(i, k)]
+                for j in nodes:
+                    out_of_k = table[(k, j)]
+                    through = eslash(eslash(into_k, loop), out_of_k)
+                    updated[(i, j)] = eunion(table[(i, j)], through)
+            table = updated
+        self._table = table
+        return table
+
+    # -- public API -------------------------------------------------------------
+
+    def rec(self, source: str, target: str) -> Expr:
+        """Regular expression of all paths from ``source`` to ``target``.
+
+        Includes the zero-length path (``eps``) when ``source == target``,
+        so the expression is equivalent to ``//target`` evaluated at a
+        ``source`` element (descendant-or-self semantics).
+        """
+        expr = self._compute()[(source, target)]
+        if source == target:
+            return eunion(EEmpty(), expr)
+        return expr
+
+    def operator_counts(self, source: str, target: str) -> OperatorCounts:
+        """Operator totals of the expression for one pair (used by Table 5)."""
+        return count_operators(self.rec(source, target))
+
+
+def cycle_expression(dtd: DTD, source: str, target: str) -> Expr:
+    """Convenience wrapper: run CycleE over ``dtd`` for one ``(source, target)`` pair."""
+    return CycleE(DTDGraph(dtd)).rec(source, target)

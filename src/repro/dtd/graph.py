@@ -1,0 +1,252 @@
+"""DTD graph analysis.
+
+The translation algorithms treat a DTD purely as a directed graph ``G_D``
+whose nodes are element types and whose edges are the parent/child pairs of
+the productions (Sect. 2.1).  :class:`DTDGraph` materialises that view and
+provides the graph algorithms the paper relies on:
+
+* node numbering (CycleE / CycleEX index nodes ``1..n``),
+* reachability and shortest paths,
+* strongly connected components (needed by the SQLGen-R baseline),
+* simple-cycle enumeration (the "n-cycle graph" terminology of the paper),
+* subgraph/containment tests.
+
+The implementation is self-contained (no networkx) because the graphs are
+tiny — real DTDs have tens of element types — and because the experiments
+count graph-algorithm work as part of translation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dtd.model import DTD
+
+__all__ = ["DTDGraph"]
+
+
+class DTDGraph:
+    """Directed-graph view of a DTD with the analyses used by the paper.
+
+    Parameters
+    ----------
+    dtd:
+        The DTD whose graph is built.
+    order:
+        Optional explicit node numbering (a sequence of element-type names).
+        When omitted, nodes are numbered in :attr:`DTD.element_types` order
+        (root first, then alphabetical), starting from 1 as in the paper.
+    """
+
+    def __init__(self, dtd: DTD, order: Optional[Sequence[str]] = None) -> None:
+        self._dtd = dtd
+        nodes = list(order) if order is not None else list(dtd.element_types)
+        if set(nodes) != set(dtd.element_types):
+            missing = set(dtd.element_types) - set(nodes)
+            extra = set(nodes) - set(dtd.element_types)
+            raise ValueError(
+                f"node order must cover exactly the DTD's element types "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        self._nodes: List[str] = nodes
+        self._number: Dict[str, int] = {name: i + 1 for i, name in enumerate(nodes)}
+        self._succ: Dict[str, List[str]] = {name: [] for name in nodes}
+        self._pred: Dict[str, List[str]] = {name: [] for name in nodes}
+        self._starred: Set[Tuple[str, str]] = set()
+        for spec in dtd.edges():
+            if spec.child not in self._succ[spec.parent]:
+                self._succ[spec.parent].append(spec.child)
+                self._pred[spec.child].append(spec.parent)
+            if spec.starred:
+                self._starred.add((spec.parent, spec.child))
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def dtd(self) -> DTD:
+        """The underlying DTD."""
+        return self._dtd
+
+    @property
+    def nodes(self) -> List[str]:
+        """Element-type names in numbering order (1-based numbers)."""
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        """All directed edges ``(parent, child)``."""
+        return [(a, b) for a in self._nodes for b in self._succ[a]]
+
+    def number_of(self, node: str) -> int:
+        """Return the 1-based number assigned to ``node``."""
+        return self._number[node]
+
+    def node_at(self, number: int) -> str:
+        """Return the node with 1-based ``number``."""
+        return self._nodes[number - 1]
+
+    def successors(self, node: str) -> List[str]:
+        """Children of ``node`` in the DTD graph."""
+        return list(self._succ[node])
+
+    def predecessors(self, node: str) -> List[str]:
+        """Parents of ``node`` in the DTD graph."""
+        return list(self._pred[node])
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        """Return True if ``parent -> child`` is an edge."""
+        return child in self._succ.get(parent, ())
+
+    def is_starred(self, parent: str, child: str) -> bool:
+        """Return True if the ``parent -> child`` edge carries a ``*`` label."""
+        return (parent, child) in self._starred
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"DTDGraph(nodes={len(self._nodes)}, edges={len(self.edges)}, "
+            f"cycles={self.cycle_count()})"
+        )
+
+    # -- reachability ----------------------------------------------------------
+
+    def reachable(self, source: str) -> Set[str]:
+        """Return nodes reachable from ``source`` via one or more edges."""
+        seen: Set[str] = set()
+        frontier = list(self._succ[source])
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._succ[node])
+        return seen
+
+    def reaches(self, source: str, target: str) -> bool:
+        """Return True if ``target`` is reachable from ``source`` (1+ edges)."""
+        return target in self.reachable(source)
+
+    def shortest_path(self, source: str, target: str) -> Optional[List[str]]:
+        """Return a shortest node path from ``source`` to ``target`` or None.
+
+        The path includes both endpoints and uses at least one edge; a
+        self-loop is required for ``shortest_path(a, a)`` to be non-None.
+        """
+        from collections import deque
+
+        queue = deque([(child, [source, child]) for child in self._succ[source]])
+        seen: Set[str] = set()
+        while queue:
+            node, path = queue.popleft()
+            if node == target:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for child in self._succ[node]:
+                queue.append((child, path + [child]))
+        return None
+
+    # -- strongly connected components ------------------------------------------
+
+    def strongly_connected_components(self) -> List[List[str]]:
+        """Return SCCs in reverse topological order of the condensation.
+
+        Uses Tarjan's SCC algorithm (iterative).  The SQLGen-R baseline needs
+        the components in top-down topological order; callers can reverse the
+        returned list for that.
+        """
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        result: List[List[str]] = []
+
+        for root in self._nodes:
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_idx = work.pop()
+                if child_idx == 0:
+                    index[node] = index_counter[0]
+                    lowlink[node] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                successors = self._succ[node]
+                for i in range(child_idx, len(successors)):
+                    succ = successors[i]
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if recurse:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return result
+
+    def topological_components(self) -> List[List[str]]:
+        """SCCs sorted in top-down topological order (roots first)."""
+        return list(reversed(self.strongly_connected_components()))
+
+    # -- cycles ----------------------------------------------------------------
+
+    def simple_cycles(self) -> List[List[str]]:
+        """Enumerate all simple cycles (Johnson-style DFS on each SCC).
+
+        A simple cycle is returned as the list of nodes in order, without
+        repeating the first node at the end.  DTD graphs are small, so a
+        straightforward DFS enumeration is used.
+        """
+        cycles: List[List[str]] = []
+        order = {node: i for i, node in enumerate(self._nodes)}
+
+        def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+            for succ in self._succ[node]:
+                if succ == start:
+                    cycles.append(list(path))
+                elif succ not in visited and order[succ] > order[start]:
+                    visited.add(succ)
+                    path.append(succ)
+                    dfs(start, succ, path, visited)
+                    path.pop()
+                    visited.discard(succ)
+
+        for start in self._nodes:
+            dfs(start, start, [start], {start})
+        return cycles
+
+    def cycle_count(self) -> int:
+        """Number of simple cycles (the ``n`` of the paper's *n-cycle graph*)."""
+        return len(self.simple_cycles())
+
+    def is_cyclic(self) -> bool:
+        """Return True if the graph has at least one cycle."""
+        return any(node in self.reachable(node) for node in self._nodes)
+
+    # -- containment -----------------------------------------------------------
+
+    def is_subgraph_of(self, other: "DTDGraph") -> bool:
+        """Return True if this graph is a subgraph of ``other`` (same names)."""
+        if not set(self._nodes) <= set(other.nodes):
+            return False
+        return set(self.edges) <= set(other.edges)

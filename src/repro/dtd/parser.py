@@ -1,0 +1,223 @@
+"""Parsers that build :class:`~repro.dtd.model.DTD` objects from text.
+
+Two syntaxes are supported:
+
+1. The *grammar syntax* used by the paper (and by ``DTD.to_text``)::
+
+       root dept
+       dept   -> course*
+       course -> cno, title, prereq, takenBy, project*
+       cno    -> EMPTY #text
+
+   Each production is ``name -> content-model`` where the content model uses
+   ``,`` for concatenation, ``|`` for disjunction, ``*``/``+``/``?`` as
+   postfix repetition operators and parentheses for grouping.  ``EMPTY`` (or
+   an empty right-hand side) denotes the empty content model.  A trailing
+   ``#text`` marks the type as carrying a PCDATA value.
+
+2. Standard XML DTD *element declarations*::
+
+       <!ELEMENT dept (course*)>
+       <!ELEMENT course (cno, title, prereq, takenBy, project*)>
+       <!ELEMENT cno (#PCDATA)>
+
+   handled by :func:`parse_element_decls`.  ``#PCDATA`` children mark the
+   type as a text type; ``EMPTY`` and ``ANY`` map to the empty model.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dtd.model import (
+    DTD,
+    Choice,
+    ContentModel,
+    Empty,
+    Optional as OptModel,
+    Plus,
+    Sequence,
+    Star,
+    TypeRef,
+)
+from repro.errors import DTDParseError
+
+__all__ = ["parse_dtd", "parse_content_model", "parse_element_decls"]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+
+class _ModelParser:
+    """Recursive-descent parser for content-model expressions."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> ContentModel:
+        model = self._parse_choice()
+        self._skip_ws()
+        if self._pos != len(self._text):
+            raise DTDParseError(
+                f"unexpected trailing input at position {self._pos} in {self._text!r}"
+            )
+        return model
+
+    # -- grammar: choice := seq ('|' seq)* ; seq := item (',' item)* ;
+    #    item := atom ('*' | '+' | '?')? ; atom := NAME | '(' choice ')' | EMPTY
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self._text[self._pos] if self._pos < len(self._text) else ""
+
+    def _parse_choice(self) -> ContentModel:
+        parts = [self._parse_sequence()]
+        while self._peek() == "|":
+            self._pos += 1
+            parts.append(self._parse_sequence())
+        if len(parts) == 1:
+            return parts[0]
+        return Choice(tuple(parts))
+
+    def _parse_sequence(self) -> ContentModel:
+        parts = [self._parse_item()]
+        while self._peek() == ",":
+            self._pos += 1
+            parts.append(self._parse_item())
+        parts = [p for p in parts if not isinstance(p, Empty)] or [Empty()]
+        if len(parts) == 1:
+            return parts[0]
+        return Sequence(tuple(parts))
+
+    def _parse_item(self) -> ContentModel:
+        atom = self._parse_atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._pos += 1
+                atom = atom if isinstance(atom, Empty) else Star(atom)
+            elif ch == "+":
+                self._pos += 1
+                atom = atom if isinstance(atom, Empty) else Plus(atom)
+            elif ch == "?":
+                self._pos += 1
+                atom = atom if isinstance(atom, Empty) else OptModel(atom)
+            else:
+                return atom
+
+    def _parse_atom(self) -> ContentModel:
+        self._skip_ws()
+        if self._pos >= len(self._text):
+            raise DTDParseError(f"unexpected end of content model in {self._text!r}")
+        ch = self._text[self._pos]
+        if ch == "(":
+            self._pos += 1
+            inner = self._parse_choice()
+            if self._peek() != ")":
+                raise DTDParseError(f"missing ')' in content model {self._text!r}")
+            self._pos += 1
+            return inner
+        match = _NAME_RE.match(self._text, self._pos)
+        if not match:
+            raise DTDParseError(
+                f"expected element-type name at position {self._pos} in {self._text!r}"
+            )
+        self._pos = match.end()
+        name = match.group(0)
+        if name.upper() == "EMPTY" or name == "#PCDATA":
+            return Empty()
+        return TypeRef(name)
+
+
+def parse_content_model(text: str) -> ContentModel:
+    """Parse a single content-model expression such as ``"cno, title, project*"``."""
+    text = text.strip()
+    if not text:
+        return Empty()
+    return _ModelParser(text).parse()
+
+
+def parse_dtd(text: str, name: str = "") -> DTD:
+    """Parse the grammar syntax described in the module docstring into a DTD."""
+    root: Optional[str] = None
+    productions: Dict[str, ContentModel] = {}
+    text_types: Set[str] = set()
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0] if raw_line.strip().startswith("#") else raw_line
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("root "):
+            if root is not None:
+                raise DTDParseError("duplicate 'root' declaration")
+            root = line[len("root "):].strip()
+            continue
+        if "->" not in line:
+            raise DTDParseError(f"expected 'name -> content' in line {raw_line!r}")
+        lhs, rhs = line.split("->", 1)
+        lhs = lhs.strip()
+        if not _NAME_RE.fullmatch(lhs):
+            raise DTDParseError(f"invalid element-type name {lhs!r}")
+        if lhs in productions:
+            raise DTDParseError(f"duplicate production for {lhs!r}")
+        rhs = rhs.strip()
+        if rhs.endswith("#text"):
+            text_types.add(lhs)
+            rhs = rhs[: -len("#text")].strip()
+        productions[lhs] = parse_content_model(rhs)
+
+    if root is None:
+        raise DTDParseError("missing 'root <type>' declaration")
+    # Referenced-but-undeclared types become empty leaf types, which matches
+    # how the paper's figures omit leaf productions.
+    for model in list(productions.values()):
+        for child in model.element_types():
+            productions.setdefault(child, Empty())
+    return DTD(root, productions, text_types, name=name)
+
+
+_ELEMENT_DECL_RE = re.compile(r"<!ELEMENT\s+([A-Za-z_][\w.\-]*)\s+(.*?)>", re.DOTALL)
+
+
+def parse_element_decls(text: str, root: Optional[str] = None, name: str = "") -> DTD:
+    """Parse ``<!ELEMENT ...>`` declarations into a DTD.
+
+    Parameters
+    ----------
+    text:
+        The DTD document (attribute-list and entity declarations are ignored).
+    root:
+        Root element type.  Defaults to the first declared element.
+    name:
+        Optional display name for the resulting DTD.
+    """
+    productions: Dict[str, ContentModel] = {}
+    text_types: Set[str] = set()
+    order: List[str] = []
+
+    for match in _ELEMENT_DECL_RE.finditer(text):
+        element, content = match.group(1), match.group(2).strip()
+        order.append(element)
+        if "#PCDATA" in content:
+            text_types.add(element)
+            content = content.replace("#PCDATA", "EMPTY")
+        if content.upper() in ("EMPTY", "ANY", "(EMPTY)"):
+            productions[element] = Empty()
+        else:
+            productions[element] = parse_content_model(content)
+
+    if not productions:
+        raise DTDParseError("no <!ELEMENT ...> declarations found")
+    chosen_root = root or order[0]
+    for model in list(productions.values()):
+        for child in model.element_types():
+            productions.setdefault(child, Empty())
+    if chosen_root not in productions:
+        raise DTDParseError(f"root {chosen_root!r} is not declared")
+    return DTD(chosen_root, productions, text_types, name=name)

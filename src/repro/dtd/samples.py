@@ -1,0 +1,268 @@
+"""The DTDs used in the paper's examples and experiments.
+
+All DTDs are rebuilt from the figures of the paper:
+
+* :func:`dept_dtd` — the running example of Fig. 1(a) (3 nested cycles
+  through ``course``).
+* :func:`cross_dtd` — the simple "cross cycles" DTD of Fig. 11(a): 4 nodes,
+  5 edges, 2 simple cycles sharing a node.
+* :func:`bioml_dtd` and the Fig. 15 subgraphs — the BIOML-derived family
+  (``gene``/``dna``/``clone``/``locus``) with 2, 3, 3 and 4 simple cycles.
+* :func:`gedml_dtd` — the GedML-derived DTD of Fig. 11(c): 5 nodes, 11
+  edges, 9 simple cycles.
+* :func:`fig3_view_dtd` / :func:`fig3_source_dtd` — the 1-cycle view/source
+  pair of Fig. 3(a)/(b) used by Example 3.2.
+* :func:`complete_dag_dtd` / :func:`complete_dag_with_blocker_dtd` — the
+  ``D1(n)`` / ``D2(n)`` family of Fig. 3(c)/(d) used to demonstrate the
+  exponential blow-up of regular-expression rewriting (Examples 3.3/4.2).
+
+The exact BIOML/GedML element declarations are not reproduced verbatim from
+the (web-only) BIOML and GedML DTDs; what matters for the experiments is the
+graph shape (node, edge and simple-cycle counts reported in Table 5), which
+is matched exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dtd.model import DTD, ContentModel, empty, ref, seq, star
+from repro.dtd.graph import DTDGraph
+
+__all__ = [
+    "dept_dtd",
+    "simplified_dept_dtd",
+    "cross_dtd",
+    "bioml_dtd",
+    "bioml_subgraph_a",
+    "bioml_subgraph_b",
+    "bioml_subgraph_c",
+    "bioml_subgraph_d",
+    "gedml_dtd",
+    "fig3_view_dtd",
+    "fig3_source_dtd",
+    "complete_dag_dtd",
+    "complete_dag_with_blocker_dtd",
+    "paper_dtds",
+]
+
+
+def dept_dtd() -> DTD:
+    """The dept DTD of Example 2.1 / Fig. 1(a).
+
+    ``dept`` has courses; each course has a code, title, prerequisite
+    hierarchy, registered students and projects; students list qualified
+    courses and projects list required courses — three overlapping cycles
+    through ``course``.
+    """
+    productions: Dict[str, ContentModel] = {
+        "dept": star("course"),
+        "course": seq("cno", "title", "prereq", "takenBy", star("project")),
+        "prereq": star("course"),
+        "takenBy": star("student"),
+        "student": seq("sno", "name", "qualified"),
+        "qualified": star("course"),
+        "project": seq("pno", "ptitle", "required"),
+        "required": star("course"),
+        "cno": empty(),
+        "title": empty(),
+        "sno": empty(),
+        "name": empty(),
+        "pno": empty(),
+        "ptitle": empty(),
+    }
+    text_types = ["cno", "title", "sno", "name", "pno", "ptitle"]
+    return DTD("dept", productions, text_types, name="dept")
+
+
+def simplified_dept_dtd() -> DTD:
+    """The simplified 4-node dept graph of Fig. 1(b).
+
+    After shared inlining, only ``dept``/``course``/``student``/``project``
+    head their own relations; the cycles of Fig. 1(a) collapse onto direct
+    edges between those four types.
+    """
+    productions: Dict[str, ContentModel] = {
+        "dept": star("course"),
+        "course": seq(star("course"), star("student"), star("project")),
+        "student": star("course"),
+        "project": star("course"),
+    }
+    return DTD("dept", productions, name="dept-simplified")
+
+
+def cross_dtd() -> DTD:
+    """The "cross cycles" DTD of Fig. 11(a): a → b → c → d with two cycles.
+
+    Graph shape: 4 nodes, 5 edges, 2 simple cycles (``b↔c`` and ``c↔d``)
+    sharing node ``c`` — matching the Cross row of Table 5
+    (n=4, m=5, c=2).  Every type carries a text value so that the selective
+    queries of Exp-2 (``a[id=...]``) can be expressed with ``text()=c``.
+    """
+    productions: Dict[str, ContentModel] = {
+        "a": star("b"),
+        "b": star("c"),
+        "c": seq(star("b"), star("d")),
+        "d": star("c"),
+    }
+    return DTD("a", productions, text_types=["a", "b", "c", "d"], name="cross")
+
+
+def _bioml(productions: Dict[str, ContentModel], name: str) -> DTD:
+    return DTD(
+        "gene",
+        productions,
+        text_types=["gene", "dna", "clone", "locus"],
+        name=name,
+    )
+
+
+def bioml_subgraph_a() -> DTD:
+    """BIOML subgraph of Fig. 15(a): 2 simple cycles, 5 edges."""
+    return _bioml(
+        {
+            "gene": star("dna"),
+            "dna": seq(star("gene"), star("clone")),
+            "clone": seq(star("dna"), star("locus")),
+            "locus": empty(),
+        },
+        name="bioml-2cycle-a",
+    )
+
+
+def bioml_subgraph_b() -> DTD:
+    """BIOML subgraph of Fig. 15(b): adds ``locus → clone`` (3 cycles, 6 edges)."""
+    return _bioml(
+        {
+            "gene": star("dna"),
+            "dna": seq(star("gene"), star("clone")),
+            "clone": seq(star("dna"), star("locus")),
+            "locus": star("clone"),
+        },
+        name="bioml-2cycle-b",
+    )
+
+
+def bioml_subgraph_c() -> DTD:
+    """BIOML subgraph of Fig. 15(c): adds ``locus → gene`` (3 cycles, 6 edges)."""
+    return _bioml(
+        {
+            "gene": star("dna"),
+            "dna": seq(star("gene"), star("clone")),
+            "clone": seq(star("dna"), star("locus")),
+            "locus": star("gene"),
+        },
+        name="bioml-3cycle-c",
+    )
+
+
+def bioml_subgraph_d() -> DTD:
+    """BIOML subgraph of Fig. 15(d): both back edges from ``locus`` (4 cycles, 7 edges)."""
+    return _bioml(
+        {
+            "gene": star("dna"),
+            "dna": seq(star("gene"), star("clone")),
+            "clone": seq(star("dna"), star("locus")),
+            "locus": seq(star("clone"), star("gene")),
+        },
+        name="bioml-4cycle-d",
+    )
+
+
+def bioml_dtd() -> DTD:
+    """The full 4-cycle BIOML DTD of Fig. 11(b) (gene/dna/clone/locus)."""
+    return bioml_subgraph_d().with_name("bioml")
+
+
+def gedml_dtd() -> DTD:
+    """The 9-cycle GedML DTD of Fig. 11(c).
+
+    5 nodes (``even``, ``sour``, ``note``, ``obje``, ``data``), 11 edges and
+    9 simple cycles — matching the GedML row of Table 5
+    (n=5, m=11, c=9).  The experiment query is ``even//data``.
+    """
+    productions: Dict[str, ContentModel] = {
+        "even": star("sour"),
+        "sour": seq(star("even"), star("note"), star("data")),
+        "note": seq(star("sour"), star("obje")),
+        "obje": seq(star("note"), star("sour"), star("data")),
+        "data": seq(star("sour"), star("note")),
+    }
+    return DTD(
+        "even",
+        productions,
+        text_types=["even", "sour", "note", "obje", "data"],
+        name="gedml",
+    )
+
+
+def fig3_view_dtd() -> DTD:
+    """The view DTD ``D`` of Fig. 3(a): A → B*, C ; B → A* (one cycle)."""
+    productions: Dict[str, ContentModel] = {
+        "A": seq(star("B"), "C"),
+        "B": star("A"),
+        "C": empty(),
+    }
+    return DTD("A", productions, name="fig3-view")
+
+
+def fig3_source_dtd() -> DTD:
+    """The source DTD ``D'`` of Fig. 3(b): like ``D`` plus the edge B → C."""
+    productions: Dict[str, ContentModel] = {
+        "A": seq(star("B"), "C"),
+        "B": seq(star("A"), star("C")),
+        "C": empty(),
+    }
+    return DTD("A", productions, name="fig3-source")
+
+
+def complete_dag_dtd(n: int) -> DTD:
+    """The DAG DTD ``D1(n)`` of Fig. 3(c): nodes A1..An, edges (Ai, Aj) for i<j."""
+    if n < 2:
+        raise ValueError("complete_dag_dtd requires n >= 2")
+    productions: Dict[str, ContentModel] = {}
+    for i in range(1, n + 1):
+        children = [ref(f"A{j}") for j in range(i + 1, n + 1)]
+        productions[f"A{i}"] = seq(*children) if children else empty()
+    return DTD("A1", productions, name=f"complete-dag-{n}")
+
+
+def complete_dag_with_blocker_dtd(n: int) -> DTD:
+    """The DTD ``D2(n)`` of Fig. 3(d): ``D1(n)`` plus a B node.
+
+    Adds edges ``Ai → B`` for i < n and ``B → An``; queries on the view must
+    avoid going through ``B``, which is what makes regular-XPath rewriting
+    exponential (Example 3.3).
+    """
+    base = complete_dag_dtd(n)
+    productions: Dict[str, ContentModel] = {}
+    for i in range(1, n + 1):
+        children = [ref(f"A{j}") for j in range(i + 1, n + 1)]
+        if i < n:
+            children.append(ref("B"))
+        productions[f"A{i}"] = seq(*children) if children else empty()
+    productions["B"] = ref(f"A{n}")
+    return DTD("A1", productions, name=f"complete-dag-blocker-{n}")
+
+
+def paper_dtds() -> Dict[str, DTD]:
+    """All named DTDs used by the experiments, keyed by short name."""
+    return {
+        "dept": dept_dtd(),
+        "cross": cross_dtd(),
+        "bioml-a": bioml_subgraph_a(),
+        "bioml-b": bioml_subgraph_b(),
+        "bioml-c": bioml_subgraph_c(),
+        "bioml-d": bioml_subgraph_d(),
+        "bioml": bioml_dtd(),
+        "gedml": gedml_dtd(),
+    }
+
+
+def describe(dtd: DTD) -> str:
+    """One-line structural summary (nodes / edges / simple cycles) of a DTD."""
+    graph = DTDGraph(dtd)
+    return (
+        f"{dtd.name}: n={len(graph)} nodes, m={len(graph.edges)} edges, "
+        f"c={graph.cycle_count()} simple cycles, recursive={dtd.is_recursive()}"
+    )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from semantic errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DTDError(ReproError):
+    """Problems with a DTD definition (unknown element types, bad content)."""
+
+
+class DTDParseError(DTDError):
+    """Raised when DTD text cannot be parsed."""
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath expression cannot be parsed."""
+
+
+class XPathTranslationError(ReproError):
+    """Raised when an XPath query cannot be translated over the given DTD."""
+
+
+class ExtendedXPathError(ReproError):
+    """Problems constructing or evaluating an extended XPath query."""
+
+
+class ValidationError(ReproError):
+    """Raised when an XML tree does not conform to a DTD."""
+
+
+class RelationalError(ReproError):
+    """Problems with relational schemas, instances or algebra programs."""
+
+
+class SchemaError(RelationalError):
+    """Raised for schema mismatches (unknown relations or columns)."""
+
+
+class ExecutionError(RelationalError):
+    """Raised when a relational-algebra program cannot be executed."""
+
+
+class ShreddingError(ReproError):
+    """Raised when a document cannot be shredded into relations."""
+
+
+class ViewError(ReproError):
+    """Problems defining or using GAV XML views."""
+
+
+class GenerationError(ReproError):
+    """Raised when the synthetic XML generator cannot satisfy its parameters."""

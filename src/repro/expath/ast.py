@@ -1,0 +1,458 @@
+"""AST for extended XPath expressions and equation systems.
+
+The grammar (Sect. 3.2)::
+
+    E ::= eps | A | X | E/E | E UNION E | E* | E[q]
+    q ::= E | text() = c | not q | q and q | q or q
+
+plus the special empty-set expression used for pruning.  An extended XPath
+*query* is a sequence of equations ``X_i = E_i`` together with a result
+expression; we store equations in dependency order (every variable is
+defined before it is used), which is the order EXpToSQL materialises
+temporary tables in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExtendedXPathError
+
+__all__ = [
+    "Expr",
+    "EQualifier",
+    "EEmpty",
+    "EEmptySet",
+    "ELabel",
+    "EVar",
+    "ESlash",
+    "EUnion",
+    "EStar",
+    "EDescendants",
+    "EQualified",
+    "EPathQual",
+    "ETextEquals",
+    "ENot",
+    "EAnd",
+    "EOr",
+    "Equation",
+    "ExtendedXPathQuery",
+    "eslash",
+    "eunion",
+    "iter_subexpressions",
+]
+
+
+class Expr:
+    """Base class of extended XPath expressions."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate sub-expressions (qualifier contents excluded)."""
+        return ()
+
+    def variables(self) -> Set[str]:
+        """All variable names occurring in this expression (including qualifiers)."""
+        out: Set[str] = set()
+        for child in self.children():
+            out |= child.variables()
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class EQualifier:
+    """Base class of extended XPath qualifiers."""
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EEmpty(Expr):
+    """The empty path ``eps`` (identity on the context node)."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class EEmptySet(Expr):
+    """The empty-set expression; ``EMPTYSET UNION E == E`` and ``E/EMPTYSET == EMPTYSET``."""
+
+    def __str__(self) -> str:
+        return "EMPTYSET"
+
+
+@dataclass(frozen=True)
+class ELabel(Expr):
+    """A label step ``A``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    """A variable reference ``X``."""
+
+    name: str
+
+    def variables(self) -> Set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ESlash(Expr):
+    """Concatenation ``E1/E2``."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left}/{self.right}"
+
+
+@dataclass(frozen=True)
+class EUnion(Expr):
+    """Union ``E1 UNION E2``."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class EStar(Expr):
+    """General Kleene closure ``E*`` (zero or more applications of ``E``)."""
+
+    inner: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class EDescendants(Expr):
+    """Opaque descendant marker used by the SQLGen-R baseline.
+
+    ``EDescendants(source, target)`` denotes the proper-descendant relation
+    from ``source``-typed nodes to ``target``-typed nodes (one or more
+    edges).  It is *not* part of the paper's extended XPath; the CycleE and
+    CycleEX strategies expand ``//`` into closures instead.  The SQLGen-R
+    baseline keeps the marker so that EXpToSQL can translate it into a
+    SQL'99 multi-relation recursive union (Sect. 3.1).
+    """
+
+    source: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"DESC({self.source}, {self.target})"
+
+
+@dataclass(frozen=True)
+class EQualified(Expr):
+    """A qualified expression ``E[q]``."""
+
+    expr: Expr
+    qualifier: "EQualifier"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def variables(self) -> Set[str]:
+        return self.expr.variables() | self.qualifier.variables()
+
+    def __str__(self) -> str:
+        return f"{self.expr}[{self.qualifier}]"
+
+
+# ---------------------------------------------------------------------------
+# Qualifiers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EPathQual(EQualifier):
+    """Existential qualifier ``[E]``."""
+
+    expr: Expr
+
+    def variables(self) -> Set[str]:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class ETextEquals(EQualifier):
+    """Value qualifier ``[text() = 'c']``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'text() = "{self.value}"'
+
+
+@dataclass(frozen=True)
+class ENot(EQualifier):
+    """Negation ``[not q]``."""
+
+    inner: EQualifier
+
+    def variables(self) -> Set[str]:
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return f"not({self.inner})"
+
+
+@dataclass(frozen=True)
+class EAnd(EQualifier):
+    """Conjunction ``[q1 and q2]``."""
+
+    left: EQualifier
+    right: EQualifier
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class EOr(EQualifier):
+    """Disjunction ``[q1 or q2]``."""
+
+    left: EQualifier
+    right: EQualifier
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Constructors that fold the empty set away (the pruning of Sect. 2.2 / 4.2)
+# ---------------------------------------------------------------------------
+
+
+def eslash(left: Expr, right: Expr) -> Expr:
+    """Concatenate two expressions, short-circuiting the empty set and ``eps``."""
+    if isinstance(left, EEmptySet) or isinstance(right, EEmptySet):
+        return EEmptySet()
+    if isinstance(left, EEmpty):
+        return right
+    if isinstance(right, EEmpty):
+        return left
+    return ESlash(left, right)
+
+
+def eunion(left: Expr, right: Expr) -> Expr:
+    """Union of two expressions, dropping empty-set operands and duplicates."""
+    if isinstance(left, EEmptySet):
+        return right
+    if isinstance(right, EEmptySet):
+        return left
+    if left == right:
+        return left
+    return EUnion(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Equations and queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A single binding ``X = E``."""
+
+    variable: str
+    expression: Expr
+
+    def __str__(self) -> str:
+        return f"{self.variable} = {self.expression}"
+
+
+class ExtendedXPathQuery:
+    """An extended XPath query: equations in dependency order plus a result.
+
+    Parameters
+    ----------
+    equations:
+        Bindings ``X_i = E_i``; every variable used by an equation (or by the
+        result) must have been defined by an *earlier* equation, and no
+        variable may be defined twice.
+    result:
+        The result expression (commonly a variable or a union of variables).
+    """
+
+    def __init__(self, equations: Sequence[Equation], result: Expr) -> None:
+        self._equations: List[Equation] = list(equations)
+        self._result = result
+        self._by_name: Dict[str, Expr] = {}
+        defined: Set[str] = set()
+        for equation in self._equations:
+            if equation.variable in defined:
+                raise ExtendedXPathError(
+                    f"variable {equation.variable!r} is defined more than once"
+                )
+            undefined = equation.expression.variables() - defined
+            if undefined:
+                raise ExtendedXPathError(
+                    f"equation for {equation.variable!r} uses undefined variables "
+                    f"{sorted(undefined)}"
+                )
+            defined.add(equation.variable)
+            self._by_name[equation.variable] = equation.expression
+        undefined = result.variables() - defined
+        if undefined:
+            raise ExtendedXPathError(
+                f"result expression uses undefined variables {sorted(undefined)}"
+            )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def equations(self) -> List[Equation]:
+        """The equations in dependency order."""
+        return list(self._equations)
+
+    @property
+    def result(self) -> Expr:
+        """The result expression."""
+        return self._result
+
+    def definition(self, variable: str) -> Expr:
+        """Return the defining expression of ``variable``."""
+        try:
+            return self._by_name[variable]
+        except KeyError:
+            raise ExtendedXPathError(f"unknown variable {variable!r}") from None
+
+    def variables(self) -> List[str]:
+        """Defined variable names in definition order."""
+        return [eq.variable for eq in self._equations]
+
+    def __len__(self) -> int:
+        return len(self._equations)
+
+    def __str__(self) -> str:
+        lines = [str(eq) for eq in self._equations]
+        lines.append(f"RESULT = {self._result}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ExtendedXPathQuery(equations={len(self._equations)}, result={self._result})"
+
+    # -- transformations ----------------------------------------------------------
+
+    def pruned(self) -> "ExtendedXPathQuery":
+        """Drop equations that the result does not (transitively) depend on."""
+        needed: Set[str] = set(self._result.variables())
+        for equation in reversed(self._equations):
+            if equation.variable in needed:
+                needed |= equation.expression.variables()
+        equations = [eq for eq in self._equations if eq.variable in needed]
+        return ExtendedXPathQuery(equations, self._result)
+
+    def inline(self) -> Expr:
+        """Expand all variables, producing a (possibly huge) regular-XPath expression.
+
+        This realises the observation of Sect. 3.2 that a query is equivalent
+        to a variable-free expression; it is exponential in the worst case
+        and is provided for testing and for the CycleE baseline comparison.
+        """
+        bindings: Dict[str, Expr] = {}
+        for equation in self._equations:
+            bindings[equation.variable] = _substitute(equation.expression, bindings)
+        return _substitute(self._result, bindings)
+
+
+def _substitute(expr: Expr, bindings: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, EVar):
+        if expr.name not in bindings:
+            raise ExtendedXPathError(f"unbound variable {expr.name!r}")
+        return bindings[expr.name]
+    if isinstance(expr, ESlash):
+        return eslash(_substitute(expr.left, bindings), _substitute(expr.right, bindings))
+    if isinstance(expr, EUnion):
+        return eunion(_substitute(expr.left, bindings), _substitute(expr.right, bindings))
+    if isinstance(expr, EStar):
+        inner = _substitute(expr.inner, bindings)
+        return EEmpty() if isinstance(inner, EEmptySet) else EStar(inner)
+    if isinstance(expr, EQualified):
+        return EQualified(
+            _substitute(expr.expr, bindings), _substitute_qualifier(expr.qualifier, bindings)
+        )
+    return expr
+
+
+def _substitute_qualifier(qualifier: EQualifier, bindings: Dict[str, Expr]) -> EQualifier:
+    if isinstance(qualifier, EPathQual):
+        return EPathQual(_substitute(qualifier.expr, bindings))
+    if isinstance(qualifier, ENot):
+        return ENot(_substitute_qualifier(qualifier.inner, bindings))
+    if isinstance(qualifier, EAnd):
+        return EAnd(
+            _substitute_qualifier(qualifier.left, bindings),
+            _substitute_qualifier(qualifier.right, bindings),
+        )
+    if isinstance(qualifier, EOr):
+        return EOr(
+            _substitute_qualifier(qualifier.left, bindings),
+            _substitute_qualifier(qualifier.right, bindings),
+        )
+    return qualifier
+
+
+def iter_subexpressions(expr: Expr) -> Iterator[Expr]:
+    """Yield every sub-expression of ``expr`` in post-order (qualifiers included)."""
+    if isinstance(expr, EQualified):
+        yield from iter_subexpressions(expr.expr)
+        yield from _iter_qualifier_exprs(expr.qualifier)
+    else:
+        for child in expr.children():
+            yield from iter_subexpressions(child)
+    yield expr
+
+
+def _iter_qualifier_exprs(qualifier: EQualifier) -> Iterator[Expr]:
+    if isinstance(qualifier, EPathQual):
+        yield from iter_subexpressions(qualifier.expr)
+    elif isinstance(qualifier, ENot):
+        yield from _iter_qualifier_exprs(qualifier.inner)
+    elif isinstance(qualifier, (EAnd, EOr)):
+        yield from _iter_qualifier_exprs(qualifier.left)
+        yield from _iter_qualifier_exprs(qualifier.right)

@@ -1,0 +1,183 @@
+"""Simplification of extended XPath expressions and equation systems.
+
+Implements the pruning applied by the translation algorithms (Sect. 4):
+
+* empty-set elimination — ``EMPTYSET UNION E = E`` and ``E/EMPTYSET = EMPTYSET``;
+* identity elimination — ``eps/E = E``;
+* duplicate-union elimination;
+* equation pruning — drop ``X = EMPTYSET``, inline trivial aliases
+  ``X = Y`` / ``X = A``, and drop equations the result does not depend on
+  (the three pruning rules listed for CycleEX).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.expath.ast import (
+    EAnd,
+    EEmpty,
+    EEmptySet,
+    ELabel,
+    ENot,
+    EOr,
+    EPathQual,
+    EQualified,
+    EQualifier,
+    ESlash,
+    EStar,
+    ETextEquals,
+    EUnion,
+    EVar,
+    Equation,
+    Expr,
+    ExtendedXPathQuery,
+    eslash,
+    eunion,
+)
+
+__all__ = ["simplify_expression", "simplify_qualifier", "simplify_query"]
+
+
+def _strip_empty_branches(expr: Expr) -> Expr:
+    """Remove ``eps`` branches from a union (used under a Kleene closure).
+
+    ``(E UNION eps)* == E*``, and dropping the ``eps`` keeps the identity
+    relation out of the LFP operator's input.
+    """
+    if isinstance(expr, EEmpty):
+        return EEmptySet()
+    if isinstance(expr, EUnion):
+        return eunion(_strip_empty_branches(expr.left), _strip_empty_branches(expr.right))
+    return expr
+
+
+def simplify_expression(expr: Expr) -> Expr:
+    """Return an equivalent expression with trivial sub-expressions folded."""
+    if isinstance(expr, ESlash):
+        return eslash(simplify_expression(expr.left), simplify_expression(expr.right))
+    if isinstance(expr, EUnion):
+        left = simplify_expression(expr.left)
+        right = simplify_expression(expr.right)
+        return eunion(left, right)
+    if isinstance(expr, EStar):
+        inner = _strip_empty_branches(simplify_expression(expr.inner))
+        if isinstance(inner, (EEmptySet, EEmpty)):
+            return EEmpty()
+        if isinstance(inner, EStar):
+            return inner  # (E*)* == E*
+        return EStar(inner)
+    if isinstance(expr, EQualified):
+        base = simplify_expression(expr.expr)
+        if isinstance(base, EEmptySet):
+            return EEmptySet()
+        qualifier = simplify_qualifier(expr.qualifier)
+        if qualifier is None:
+            return base  # qualifier statically true
+        if qualifier is False:
+            return EEmptySet()  # qualifier statically false
+        return EQualified(base, qualifier)
+    return expr
+
+
+def simplify_qualifier(qualifier: EQualifier):
+    """Simplify a qualifier.
+
+    Returns ``None`` when the qualifier is statically true (``[eps]``),
+    ``False`` when statically false (``[EMPTYSET]``), or a simplified
+    qualifier otherwise.
+    """
+    if isinstance(qualifier, EPathQual):
+        expr = simplify_expression(qualifier.expr)
+        if isinstance(expr, EEmpty):
+            return None
+        if isinstance(expr, EEmptySet):
+            return False
+        return EPathQual(expr)
+    if isinstance(qualifier, ENot):
+        inner = simplify_qualifier(qualifier.inner)
+        if inner is None:
+            return False
+        if inner is False:
+            return None
+        return ENot(inner)
+    if isinstance(qualifier, EAnd):
+        left = simplify_qualifier(qualifier.left)
+        right = simplify_qualifier(qualifier.right)
+        if left is False or right is False:
+            return False
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return EAnd(left, right)
+    if isinstance(qualifier, EOr):
+        left = simplify_qualifier(qualifier.left)
+        right = simplify_qualifier(qualifier.right)
+        if left is None or right is None:
+            return None
+        if left is False:
+            return right
+        if right is False:
+            return left
+        return EOr(left, right)
+    return qualifier
+
+
+def _substitute_aliases(expr: Expr, aliases: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, EVar) and expr.name in aliases:
+        return aliases[expr.name]
+    if isinstance(expr, ESlash):
+        return eslash(
+            _substitute_aliases(expr.left, aliases), _substitute_aliases(expr.right, aliases)
+        )
+    if isinstance(expr, EUnion):
+        return eunion(
+            _substitute_aliases(expr.left, aliases), _substitute_aliases(expr.right, aliases)
+        )
+    if isinstance(expr, EStar):
+        inner = _substitute_aliases(expr.inner, aliases)
+        return EEmpty() if isinstance(inner, EEmptySet) else EStar(inner)
+    if isinstance(expr, EQualified):
+        return EQualified(
+            _substitute_aliases(expr.expr, aliases),
+            _substitute_aliases_qualifier(expr.qualifier, aliases),
+        )
+    return expr
+
+
+def _substitute_aliases_qualifier(qualifier: EQualifier, aliases: Dict[str, Expr]) -> EQualifier:
+    if isinstance(qualifier, EPathQual):
+        return EPathQual(_substitute_aliases(qualifier.expr, aliases))
+    if isinstance(qualifier, ENot):
+        return ENot(_substitute_aliases_qualifier(qualifier.inner, aliases))
+    if isinstance(qualifier, EAnd):
+        return EAnd(
+            _substitute_aliases_qualifier(qualifier.left, aliases),
+            _substitute_aliases_qualifier(qualifier.right, aliases),
+        )
+    if isinstance(qualifier, EOr):
+        return EOr(
+            _substitute_aliases_qualifier(qualifier.left, aliases),
+            _substitute_aliases_qualifier(qualifier.right, aliases),
+        )
+    return qualifier
+
+
+def simplify_query(query: ExtendedXPathQuery) -> ExtendedXPathQuery:
+    """Simplify every equation, inline trivial aliases, and prune dead equations.
+
+    Alias inlining covers the CycleEX pruning rules: equations whose
+    right-hand side is the empty set, a bare variable or a single label are
+    substituted away rather than kept as separate equations/temporary tables.
+    """
+    aliases: Dict[str, Expr] = {}
+    equations: List[Equation] = []
+    for equation in query.equations:
+        expr = simplify_expression(_substitute_aliases(equation.expression, aliases))
+        if isinstance(expr, (EEmptySet, EEmpty, EVar, ELabel)):
+            aliases[equation.variable] = expr
+            continue
+        equations.append(Equation(equation.variable, expr))
+    result = simplify_expression(_substitute_aliases(query.result, aliases))
+    return ExtendedXPathQuery(equations, result).pruned()

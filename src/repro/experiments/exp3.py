@@ -1,0 +1,90 @@
+"""Exp-3 (Fig. 14): scalability with the dataset size.
+
+The paper evaluates ``a//d`` over the cross-cycle DTD with X_R = 4 and
+X_L = 16 while growing the document from 60,000 to 480,000 elements,
+comparing R (SQLGen-R), E (CycleE) and X (CycleEX).  Dataset sizes are
+scaled down by ``DEFAULT_SCALE`` here; the relative ordering (X fastest, E
+slowest at the largest size, R degrading faster than X) is the result the
+figure demonstrates.  Run with ``python -m repro.experiments.exp3``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from repro.dtd.samples import cross_dtd
+from repro.experiments.harness import (
+    Approach,
+    MeasuredQuery,
+    default_approaches,
+    format_table,
+    measure_query,
+)
+from repro.shredding.shredder import shred_document
+from repro.workloads.datasets import DatasetSpec, scaled_elements
+from repro.workloads.queries import SCALABILITY_QUERY
+
+__all__ = ["run", "main", "PAPER_SIZES"]
+
+PAPER_SIZES = (60_000, 120_000, 240_000, 480_000)
+FIXED_XL = 16
+FIXED_XR = 4
+
+
+def run(
+    sizes: Optional[Sequence[int]] = None,
+    approaches: Optional[Sequence[Approach]] = None,
+    query: str = SCALABILITY_QUERY,
+    seed: int = 5,
+) -> List[MeasuredQuery]:
+    """Run the Fig. 14 sweep over increasing (scaled) dataset sizes."""
+    sizes = list(sizes or [scaled_elements(size) for size in PAPER_SIZES])
+    approaches = list(approaches or default_approaches())
+    dtd = cross_dtd()
+    rows: List[MeasuredQuery] = []
+    for size in sizes:
+        spec = DatasetSpec(dtd, x_l=FIXED_XL, x_r=FIXED_XR, max_elements=size, seed=seed)
+        tree = spec.generate()
+        shredded = shred_document(tree, dtd)
+        for approach in approaches:
+            rows.append(
+                measure_query(
+                    approach, dtd, shredded, query, dataset_label=f"{size} elements"
+                )
+            )
+    return rows
+
+
+def summarize(rows: List[MeasuredQuery]) -> str:
+    """Format the Fig. 14 series."""
+    return format_table(
+        ["dataset", "approach", "exec_s", "rows", "elements"],
+        [
+            (
+                row.dataset,
+                row.approach,
+                f"{row.execution_seconds:.3f}",
+                row.result_rows,
+                row.document_elements,
+            )
+            for row in rows
+        ],
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point: print the Fig. 14 series."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    if quick:
+        rows = run(sizes=(1000, 2000))
+    else:
+        rows = run()
+    print("Exp-3 (Fig. 14): scalability of a//d over the cross-cycle DTD")
+    print(summarize(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Shared infrastructure for the experiment modules.
+
+An :class:`Approach` names one translator configuration (the paper's "R",
+"E" and "X" curves); :func:`measure_query` runs one query under one
+approach over a shredded document and records translation time, execution
+time and result size.  The experiment modules assemble these measurements
+into the rows/series of the paper's figures; :func:`format_table` renders
+them as plain-text tables for the console and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.optimize import push_selection_options, standard_options
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd.model import DTD
+from repro.relational.executor import Executor
+from repro.shredding.shredder import ShreddedDocument
+
+__all__ = [
+    "Approach",
+    "MeasuredQuery",
+    "default_approaches",
+    "measure_query",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class Approach:
+    """One translator configuration measured by the experiments.
+
+    The paper's three curves are:
+
+    * ``R`` — SQLGen-R: descendants via the SQL'99 multi-relation recursive
+      union (black-box evaluation, no selection pushing);
+    * ``E`` — the translation framework with CycleE (Tarjan's regular
+      expressions) expanding the descendant axis;
+    * ``X`` — the framework with CycleEX, i.e. the paper's approach.
+
+    ``E`` and ``X`` both use the optimised lowering of Sect. 5.2 (prefix
+    joins and selections pushed into the LFP operator); they differ only in
+    how ``//`` is expanded, which is exactly the comparison the paper makes.
+    """
+
+    name: str
+    strategy: DescendantStrategy
+    options: TranslationOptions
+
+    def translator(self, dtd: DTD) -> XPathToSQLTranslator:
+        """Build a translator for this approach over ``dtd``."""
+        return XPathToSQLTranslator(dtd, strategy=self.strategy, options=self.options)
+
+
+def default_approaches(include_cyclee: bool = True) -> List[Approach]:
+    """The approaches compared in Exp-1/3/4: R, E and X (in that order)."""
+    approaches = [
+        Approach("R", DescendantStrategy.RECURSIVE_UNION, standard_options()),
+    ]
+    if include_cyclee:
+        approaches.append(Approach("E", DescendantStrategy.CYCLEE, push_selection_options()))
+    approaches.append(Approach("X", DescendantStrategy.CYCLEEX, push_selection_options()))
+    return approaches
+
+
+@dataclass
+class MeasuredQuery:
+    """One (approach, query, dataset) measurement."""
+
+    approach: str
+    query: str
+    dataset: str
+    translation_seconds: float
+    execution_seconds: float
+    result_rows: int
+    document_elements: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Translation plus execution time."""
+        return self.translation_seconds + self.execution_seconds
+
+
+def measure_query(
+    approach: Approach,
+    dtd: DTD,
+    shredded: ShreddedDocument,
+    query: str,
+    dataset_label: str = "",
+    translator: Optional[XPathToSQLTranslator] = None,
+) -> MeasuredQuery:
+    """Translate and execute ``query`` under ``approach``; return the measurement.
+
+    A pre-built translator may be passed so repeated measurements over the
+    same DTD do not pay the CycleEX/CycleE table construction each time
+    (the paper likewise reports query evaluation time, not translation-table
+    setup).
+    """
+    translator = translator or approach.translator(dtd)
+    start = time.perf_counter()
+    result = translator.translate(query)
+    translation_seconds = time.perf_counter() - start
+
+    executor = Executor(shredded.database, lazy=True)
+    start = time.perf_counter()
+    relation = executor.run(result.program)
+    execution_seconds = time.perf_counter() - start
+
+    return MeasuredQuery(
+        approach=approach.name,
+        query=query,
+        dataset=dataset_label,
+        translation_seconds=translation_seconds,
+        execution_seconds=execution_seconds,
+        result_rows=len(relation),
+        document_elements=shredded.tree.size(),
+    )
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width plain-text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

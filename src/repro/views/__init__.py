@@ -1,0 +1,5 @@
+"""Query answering over (virtual) GAV XML views of XML data (Sect. 3.4)."""
+
+from repro.views.gav import GAVView, extract_view, answer_on_view
+
+__all__ = ["GAVView", "extract_view", "answer_on_view"]

@@ -1,0 +1,29 @@
+"""Paper workloads: the example/experiment queries and dataset builders."""
+
+from repro.workloads.queries import (
+    BIOML_CASES,
+    CROSS_QUERIES,
+    DEPT_QUERIES,
+    GEDML_QUERY,
+    SELECTIVE_QUERIES,
+    BiomlCase,
+)
+from repro.workloads.datasets import (
+    DatasetSpec,
+    build_dataset,
+    dept_sample_tree,
+    scaled_elements,
+)
+
+__all__ = [
+    "DEPT_QUERIES",
+    "CROSS_QUERIES",
+    "SELECTIVE_QUERIES",
+    "BIOML_CASES",
+    "BiomlCase",
+    "GEDML_QUERY",
+    "DatasetSpec",
+    "build_dataset",
+    "dept_sample_tree",
+    "scaled_elements",
+]

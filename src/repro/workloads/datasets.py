@@ -1,0 +1,121 @@
+"""Dataset builders for the experiments.
+
+The paper generates documents with the IBM XML Generator controlled by
+``X_L`` (maximum levels) and ``X_R`` (maximum repetition) and a default size
+of 120,000 elements on IBM DB2.  Our engine is pure Python, so the harness
+scales sizes down by :data:`DEFAULT_SCALE` (1/16 by default) while keeping
+the same shape parameters; :func:`scaled_elements` maps a paper size to the
+scaled size used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dtd.model import DTD
+from repro.dtd import samples
+from repro.shredding.shredder import ShreddedDocument, shred_document
+from repro.xmltree.generator import GeneratorConfig, XMLGenerator
+from repro.xmltree.tree import XMLTree, build_tree
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DatasetSpec",
+    "build_dataset",
+    "scaled_elements",
+    "dept_sample_tree",
+]
+
+# Paper sizes divided by this factor give the default benchmark sizes.
+DEFAULT_SCALE = 16
+
+
+def scaled_elements(paper_elements: int, scale: int = DEFAULT_SCALE) -> int:
+    """Map a paper dataset size (in elements) to the scaled size used here."""
+    return max(200, paper_elements // scale)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A generated dataset: DTD plus generator shape parameters.
+
+    Attributes
+    ----------
+    dtd:
+        The DTD to generate from.
+    x_l / x_r:
+        The IBM-generator shape parameters (maximum levels / repetition).
+    max_elements:
+        Optional element budget (the paper trims documents to a fixed size).
+    seed:
+        RNG seed (fixed per experiment for reproducibility).
+    distinct_values:
+        Number of distinct text values per text type (controls selectivity
+        for the Exp-2 queries).
+    """
+
+    dtd: DTD
+    x_l: int
+    x_r: int
+    max_elements: Optional[int] = None
+    seed: int = 0
+    distinct_values: int = 100
+
+    def generate(self) -> XMLTree:
+        """Generate the document for this spec."""
+        config = GeneratorConfig(
+            x_l=self.x_l,
+            x_r=self.x_r,
+            max_elements=self.max_elements,
+            seed=self.seed,
+            distinct_values=self.distinct_values,
+        )
+        return XMLGenerator(self.dtd, config).generate()
+
+
+def build_dataset(spec: DatasetSpec) -> Tuple[XMLTree, ShreddedDocument]:
+    """Generate a document and shred it with the simplified mapping."""
+    tree = spec.generate()
+    return tree, shred_document(tree, spec.dtd)
+
+
+def dept_sample_tree() -> XMLTree:
+    """The small dept document of Table 1 (nodes d1, c1..c5, s1, s2, p1, p2).
+
+    Reconstructed from the F/T columns shown in Table 1: d1 has course c1;
+    c1 has prerequisite c2 and students s1, s2; c2 has prerequisite c3 and
+    project p1; p1 requires course c4 which has project p2; s2 is qualified
+    for course c5.  Connector elements (prereq, takenBy, ...) are elided in
+    Table 1 because the simplified dept DTD of Fig. 1(b) collapses them; the
+    sample tree therefore conforms to :func:`repro.dtd.samples.simplified_dept_dtd`.
+    """
+    return build_tree(
+        (
+            "dept",
+            [
+                (
+                    "course",  # c1
+                    [
+                        (
+                            "course",  # c2
+                            [
+                                "course",  # c3
+                                (
+                                    "project",  # p1
+                                    [
+                                        (
+                                            "course",  # c4
+                                            [("project", [])],  # p2
+                                        )
+                                    ],
+                                ),
+                            ],
+                        ),
+                        ("student", []),  # s1
+                        ("student", [("course", [])]),  # s2 -> c5
+                    ],
+                )
+            ],
+        )
+    )

@@ -1,0 +1,83 @@
+"""The queries used by the paper's examples and experiments.
+
+* ``DEPT_QUERIES`` — Q1 and Q2 of Example 2.2 over the dept DTD.
+* ``CROSS_QUERIES`` — Qa..Qd of Exp-1 over the cross-cycle DTD (Fig. 11a).
+* ``SELECTIVE_QUERIES`` — Qe and Qf of Exp-2 (selections to be pushed into
+  the LFP); the ``{value}`` placeholder is filled with the constant that
+  selects the desired number of elements.
+* ``BIOML_CASES`` — the seven cases of Table 4 over the Fig. 15 subgraphs.
+* ``GEDML_QUERY`` — ``even//data`` of the GedML experiment (Fig. 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.dtd.model import DTD
+from repro.dtd import samples
+
+__all__ = [
+    "DEPT_QUERIES",
+    "CROSS_QUERIES",
+    "SELECTIVE_QUERIES",
+    "BiomlCase",
+    "BIOML_CASES",
+    "GEDML_QUERY",
+]
+
+# Example 2.2 over the dept DTD of Fig. 1(a).
+DEPT_QUERIES: Dict[str, str] = {
+    "Q1": "dept//project",
+    "Q2": (
+        'dept/course[//prereq/course[cno = "cs66"] '
+        "and not //project "
+        'and not takenBy/student/qualified//course[cno = "cs66"]]'
+    ),
+}
+
+# Exp-1 queries over the cross-cycle DTD of Fig. 11(a).
+CROSS_QUERIES: Dict[str, str] = {
+    "Qa": "a/b//c/d",
+    "Qb": "a[//c]//d",
+    "Qc": "a[not //c]",
+    "Qd": "a[not //c or (b and //d)]",
+}
+
+# Exp-2 queries (push-selection study); format with the selective constant.
+SELECTIVE_QUERIES: Dict[str, str] = {
+    "Qe": 'a/b[text() = "{value}"]//c/d',
+    "Qf": 'a/b//c/d[text() = "{value}"]',
+}
+
+# Exp-3 scalability query.
+SCALABILITY_QUERY = "a//d"
+
+
+@dataclass(frozen=True)
+class BiomlCase:
+    """One row of Table 4: a query over one extracted BIOML DTD."""
+
+    name: str
+    query: str
+    cycles: int
+    dtd_factory: Callable[[], DTD]
+
+    def dtd(self) -> DTD:
+        """Instantiate the DTD for this case."""
+        return self.dtd_factory()
+
+
+# Table 4: queries over the DTD graphs extracted from BIOML (Fig. 15 / 11b).
+BIOML_CASES: List[BiomlCase] = [
+    BiomlCase("2a", "gene//locus", 2, samples.bioml_subgraph_a),
+    BiomlCase("2b", "gene//locus", 3, samples.bioml_subgraph_b),
+    BiomlCase("2c", "gene//dna", 3, samples.bioml_subgraph_b),
+    BiomlCase("3a", "gene//locus", 3, samples.bioml_subgraph_c),
+    BiomlCase("3b", "gene//locus", 4, samples.bioml_subgraph_d),
+    BiomlCase("4a", "gene//locus", 4, samples.bioml_dtd),
+    BiomlCase("4b", "gene//dna", 4, samples.bioml_dtd),
+]
+
+# The GedML experiment query (Fig. 17).
+GEDML_QUERY = "even//data"

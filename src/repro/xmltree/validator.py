@@ -1,0 +1,115 @@
+"""DTD conformance checking for XML trees.
+
+``validate(tree, dtd)`` checks that every node's label is declared, that the
+children of every node match the parent's content-model regular expression,
+and that text values only appear on text types.  It is used by tests (every
+generated document must conform) and by the GAV view machinery (extracted
+views must conform to the view DTD).
+
+The content-model matcher works on label sequences with a set-of-positions
+simulation (equivalent to running the Glushkov NFA of the regular
+expression), so it is linear in ``len(children) * |model|`` and needs no
+backtracking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.dtd.model import (
+    DTD,
+    Choice,
+    ContentModel,
+    Empty,
+    Optional as OptModel,
+    Plus,
+    Sequence as SeqModel,
+    Star,
+    TypeRef,
+)
+from repro.errors import ValidationError
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["matches_model", "validate", "conforms"]
+
+
+def _advance(model: ContentModel, labels: Sequence[str], starts: Set[int]) -> Set[int]:
+    """Return the set of positions reachable after matching ``model``.
+
+    ``starts`` is the set of positions (indexes into ``labels``) from which
+    matching may begin; the result is the set of positions where matching of
+    ``model`` may end.
+    """
+    if not starts:
+        return set()
+    if isinstance(model, Empty):
+        return set(starts)
+    if isinstance(model, TypeRef):
+        return {i + 1 for i in starts if i < len(labels) and labels[i] == model.name}
+    if isinstance(model, SeqModel):
+        current = set(starts)
+        for part in model.parts:
+            current = _advance(part, labels, current)
+            if not current:
+                return set()
+        return current
+    if isinstance(model, Choice):
+        out: Set[int] = set()
+        for part in model.parts:
+            out |= _advance(part, labels, starts)
+        return out
+    if isinstance(model, OptModel):
+        return set(starts) | _advance(model.inner, labels, starts)
+    if isinstance(model, (Star, Plus)):
+        inner = model.inner
+        reached: Set[int] = set()
+        frontier = set(starts)
+        # Repeatedly apply the inner model until no new positions appear.
+        while frontier:
+            step = _advance(inner, labels, frontier)
+            new = step - reached
+            reached |= new
+            frontier = new
+        if isinstance(model, Star):
+            return set(starts) | reached
+        return reached
+    raise ValidationError(f"unknown content model {model!r}")
+
+
+def matches_model(model: ContentModel, labels: Sequence[str]) -> bool:
+    """Return True if the label sequence is a word of the content model."""
+    return len(labels) in _advance(model, list(labels), {0})
+
+
+def validate(tree: XMLTree, dtd: DTD) -> List[str]:
+    """Return a list of conformance violations (empty when the tree conforms).
+
+    Each violation is a human-readable string naming the offending node.
+    """
+    problems: List[str] = []
+    if tree.root.label != dtd.root:
+        problems.append(
+            f"root label {tree.root.label!r} does not match DTD root {dtd.root!r}"
+        )
+    for node in tree.nodes():
+        if not dtd.has_type(node.label):
+            problems.append(f"node {node.node_id}: undeclared element type {node.label!r}")
+            continue
+        child_labels = [child.label for child in node.children]
+        model = dtd.production(node.label)
+        if not matches_model(model, child_labels):
+            problems.append(
+                f"node {node.node_id} ({node.label}): children {child_labels} "
+                f"do not match content model {model}"
+            )
+        if node.value is not None and node.label not in dtd.text_types:
+            problems.append(
+                f"node {node.node_id} ({node.label}): has text value but "
+                f"{node.label!r} is not a text type"
+            )
+    return problems
+
+
+def conforms(tree: XMLTree, dtd: DTD) -> bool:
+    """Return True when the tree conforms to the DTD."""
+    return not validate(tree, dtd)

@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the XPath fragment of Sect. 2.2.
+
+Concrete syntax accepted (whitespace-insensitive)::
+
+    path      := term (('|' | 'UNION' | '∪') term)*
+    term      := ['//'] step (('/' | '//') step)*
+    step      := primary ('[' qualifier ']')*
+    primary   := NAME | '*' | '.' | 'EMPTYSET' | '(' path ')'
+    qualifier := or_q
+    or_q      := and_q (('or' | '∨') and_q)*
+    and_q     := not_q (('and' | '∧') not_q)*
+    not_q     := ('not' | '¬' | '!') not_q | atom_q
+    atom_q    := 'text()' '=' STRING | '(' qualifier ')' | path
+
+String literals use single or double quotes.  The paper's unicode operators
+(``∪``, ``∧``, ``∨``, ``¬``, ``ε``) are accepted alongside ASCII spellings,
+so queries can be written exactly as they appear in the paper, e.g.::
+
+    dept/course[//prereq/course[cno = "cs66"] ∧ ¬//project]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    And,
+    Descendant,
+    EmptyPath,
+    EmptySet,
+    Label,
+    Not,
+    Or,
+    Path,
+    PathQual,
+    Qualified,
+    Qualifier,
+    Slash,
+    TextEquals,
+    Union,
+    Wildcard,
+)
+
+__all__ = ["parse_xpath", "tokenize"]
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_SPEC = [
+    ("TEXTFN", r"text\(\)"),
+    ("DSLASH", r"//"),
+    ("SLASH", r"/"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("OR", r"∨|\|\|"),
+    ("UNION", r"\||∪"),
+    ("AND", r"∧|&&"),
+    ("NOT", r"¬|!"),
+    ("EQ", r"="),
+    ("STAR", r"\*"),
+    ("DOT", r"\.|ε"),
+    ("STRING", r"\"[^\"]*\"|'[^']*'"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("WS", r"\s+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {
+    "and": "AND",
+    "or": "OR",
+    "not": "NOT",
+    "UNION": "UNION",
+    "EMPTYSET": "EMPTYSET",
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an XPath string; raises :class:`XPathSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise XPathSyntaxError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        value = match.group(0)
+        pos = match.end()
+        if kind == "WS":
+            continue
+        if kind == "NAME" and value in _KEYWORDS:
+            kind = _KEYWORDS[value]
+        tokens.append(Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of query in {self._source!r}")
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.text if token else "end of input"
+            raise XPathSyntaxError(
+                f"expected {kind} but found {found!r} in {self._source!r}"
+            )
+        self._pos += 1
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Path:
+        path = self.parse_path()
+        if self._pos != len(self._tokens):
+            token = self._tokens[self._pos]
+            raise XPathSyntaxError(
+                f"unexpected token {token.text!r} at position {token.pos} in {self._source!r}"
+            )
+        return path
+
+    def parse_path(self) -> Path:
+        left = self._parse_term()
+        while self._accept("UNION"):
+            right = self._parse_term()
+            left = Union(left, right)
+        return left
+
+    def _parse_term(self) -> Path:
+        if self._accept("DSLASH"):
+            path: Path = Descendant(self._parse_step())
+        else:
+            path = self._parse_step()
+        while True:
+            if self._accept("SLASH"):
+                path = Slash(path, self._parse_step())
+            elif self._accept("DSLASH"):
+                path = Slash(path, Descendant(self._parse_step()))
+            else:
+                return path
+
+    def _parse_step(self) -> Path:
+        path = self._parse_primary()
+        while self._accept("LBRACKET"):
+            qualifier = self._parse_qualifier()
+            self._expect("RBRACKET")
+            path = Qualified(path, qualifier)
+        return path
+
+    def _parse_primary(self) -> Path:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of query in {self._source!r}")
+        if token.kind == "NAME":
+            self._next()
+            return Label(token.text)
+        if token.kind == "STAR":
+            self._next()
+            return Wildcard()
+        if token.kind == "DOT":
+            self._next()
+            return EmptyPath()
+        if token.kind == "EMPTYSET":
+            self._next()
+            return EmptySet()
+        if token.kind == "LPAREN":
+            self._next()
+            inner = self.parse_path()
+            self._expect("RPAREN")
+            return inner
+        raise XPathSyntaxError(
+            f"unexpected token {token.text!r} at position {token.pos} in {self._source!r}"
+        )
+
+    # -- qualifiers --------------------------------------------------------------
+
+    def _parse_qualifier(self) -> Qualifier:
+        return self._parse_or_qualifier()
+
+    def _parse_or_qualifier(self) -> Qualifier:
+        left = self._parse_and_qualifier()
+        while self._accept("OR"):
+            right = self._parse_and_qualifier()
+            left = Or(left, right)
+        return left
+
+    def _parse_and_qualifier(self) -> Qualifier:
+        left = self._parse_not_qualifier()
+        while self._accept("AND"):
+            right = self._parse_not_qualifier()
+            left = And(left, right)
+        return left
+
+    def _parse_not_qualifier(self) -> Qualifier:
+        if self._accept("NOT"):
+            return Not(self._parse_not_qualifier())
+        return self._parse_atom_qualifier()
+
+    def _parse_atom_qualifier(self) -> Qualifier:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of qualifier in {self._source!r}")
+        if token.kind == "TEXTFN":
+            self._next()
+            self._expect("EQ")
+            literal = self._expect("STRING")
+            return TextEquals(literal.text[1:-1])
+        if token.kind == "LPAREN":
+            # Could be a parenthesised qualifier or a parenthesised path; try
+            # the path interpretation first and fall back on failure (paths
+            # may continue with '/', '//' or '|').
+            saved = self._pos
+            try:
+                return self._parse_path_qualifier()
+            except XPathSyntaxError:
+                self._pos = saved
+            self._next()  # consume '('
+            inner = self._parse_qualifier()
+            self._expect("RPAREN")
+            return inner
+        # Plain path qualifier, possibly a value comparison ``p = "c"``.
+        return self._parse_path_qualifier()
+
+    def _parse_path_qualifier(self) -> Qualifier:
+        """Parse a path qualifier, stopping before and/or/] tokens.
+
+        Accepts the value-comparison shorthand of the paper's examples,
+        ``p = "c"``, which desugars to ``p[text() = "c"]``.
+        """
+        path = self.parse_path()
+        if self._accept("EQ"):
+            literal = self._expect("STRING")
+            path = Qualified(path, TextEquals(literal.text[1:-1]))
+        token = self._peek()
+        if token is not None and token.kind not in (
+            "RBRACKET",
+            "RPAREN",
+            "AND",
+            "OR",
+        ):
+            raise XPathSyntaxError(
+                f"unexpected token {token.text!r} at position {token.pos} in {self._source!r}"
+            )
+        return PathQual(path)
+
+
+def parse_xpath(text: str) -> Path:
+    """Parse an XPath string into its AST.
+
+    >>> parse_xpath("dept//project")
+    Slash(left=Label(name='dept'), right=Descendant(inner=Label(name='project')))
+    """
+    stripped = text.strip()
+    if not stripped:
+        return EmptyPath()
+    return _Parser(tokenize(stripped), text).parse()

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import samples
+from repro.shredding.shredder import shred_document
+from repro.xmltree.generator import generate_document
+
+
+@pytest.fixture(scope="session")
+def dept_dtd():
+    """The dept DTD of Fig. 1(a)."""
+    return samples.dept_dtd()
+
+
+@pytest.fixture(scope="session")
+def cross_dtd():
+    """The cross-cycle DTD of Fig. 11(a)."""
+    return samples.cross_dtd()
+
+
+@pytest.fixture(scope="session")
+def gedml_dtd():
+    """The 9-cycle GedML DTD of Fig. 11(c)."""
+    return samples.gedml_dtd()
+
+
+@pytest.fixture(scope="session")
+def dept_tree(dept_dtd):
+    """A small generated dept document (deterministic seed)."""
+    return generate_document(dept_dtd, x_l=6, x_r=3, seed=1)
+
+
+@pytest.fixture(scope="session")
+def cross_tree(cross_dtd):
+    """A small generated cross-cycle document (deterministic seed)."""
+    return generate_document(cross_dtd, x_l=8, x_r=3, seed=5, max_elements=1200)
+
+
+@pytest.fixture(scope="session")
+def dept_shredded(dept_tree, dept_dtd):
+    """The dept document shredded with the simplified mapping."""
+    return shred_document(dept_tree, dept_dtd)
+
+
+@pytest.fixture(scope="session")
+def cross_shredded(cross_tree, cross_dtd):
+    """The cross document shredded with the simplified mapping."""
+    return shred_document(cross_tree, cross_dtd)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["describe", "dept"])
+        assert args.command == "describe"
+        args = parser.parse_args(["translate", "cross", "a//d", "--dialect", "db2"])
+        assert args.dialect == "db2"
+        args = parser.parse_args(["answer", "cross", "a//d", "--elements", "500"])
+        assert args.elements == 500
+        args = parser.parse_args(["experiment", "exp5"])
+        assert args.name == "exp5"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["translate", "cross", "a//d", "--strategy", "magic"])
+
+
+class TestCommands:
+    def test_describe_named_dtd(self, capsys):
+        assert main(["describe", "dept"]) == 0
+        output = capsys.readouterr().out
+        assert "dept" in output
+        assert "recursive=True" in output
+        assert "course ->" in output
+
+    def test_describe_dtd_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.dtd"
+        path.write_text("root r\nr -> a*\na -> r*\n")
+        assert main(["describe", str(path)]) == 0
+        assert "recursive=True" in capsys.readouterr().out
+
+    def test_describe_unknown_dtd_exits(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "no-such-dtd"])
+
+    def test_translate_prints_all_artifacts(self, capsys):
+        assert main(["translate", "dept", "dept//project", "--dialect", "db2"]) == 0
+        output = capsys.readouterr().out
+        assert "extended XPath" in output
+        assert "relational program" in output
+        assert "SQL (db2)" in output
+        assert "LFPs" in output
+
+    def test_translate_show_sql_only(self, capsys):
+        assert main(["translate", "cross", "a//d", "--show", "sql"]) == 0
+        output = capsys.readouterr().out
+        assert "SQL (generic)" in output
+        assert "relational program" not in output
+
+    def test_translate_with_push_and_baseline_strategy(self, capsys):
+        assert main(
+            ["translate", "cross", "a//d", "--strategy", "recursive-union"]
+        ) == 0
+        assert "SQL'99 recursions" in capsys.readouterr().out
+        assert main(["translate", "cross", "a//d", "--push-selections"]) == 0
+
+    def test_answer_prints_matches(self, capsys):
+        assert main(
+            ["answer", "cross", "a//d", "--elements", "400", "--seed", "3", "--limit", "5"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "matches:" in output
+        assert "a/b" in output  # printed node paths start at the root
+
+    def test_answer_respects_limit(self, capsys):
+        main(["answer", "cross", "a//d", "--elements", "600", "--seed", "5", "--limit", "1"])
+        output = capsys.readouterr().out
+        assert "more" in output or output.count("node ") <= 1
+
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "exp3", "--quick"]) == 0
+        assert "Fig. 14" in capsys.readouterr().out

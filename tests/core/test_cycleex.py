@@ -1,0 +1,124 @@
+"""Unit tests for CycleEX (rec(A, B) as polynomial-size equation systems)."""
+
+import pytest
+
+from repro.core.cycleex import CycleEXIndex, rec_query
+from repro.core.tarjan import CycleE
+from repro.dtd.graph import DTDGraph
+from repro.dtd import samples
+from repro.expath.ast import EEmpty, EEmptySet, EVar
+from repro.expath.evaluator import ExtendedXPathEvaluator
+from repro.expath.metrics import count_operators
+from repro.xmltree.generator import generate_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_xpath
+
+
+class TestStructure:
+    def test_unreachable_pair_is_empty(self):
+        index = CycleEXIndex(DTDGraph(samples.cross_dtd()))
+        assert isinstance(index.result_expression("d", "a"), EEmptySet)
+        assert not index.has_path("d", "a")
+
+    def test_reachable_pair_has_expression(self):
+        index = CycleEXIndex(DTDGraph(samples.cross_dtd()))
+        assert index.has_path("a", "d")
+
+    def test_self_pair_includes_identity(self):
+        index = CycleEXIndex(DTDGraph(samples.cross_dtd()))
+        expr = index.result_expression("b", "b")
+        # descendant-or-self: must include the zero-length path.
+        assert "." in str(expr) or expr == EEmpty()
+
+    def test_equations_are_constant_size(self):
+        index = CycleEXIndex(DTDGraph(samples.gedml_dtd()))
+        for equation in index.equations:
+            counts = count_operators(equation.expression)
+            # At most: one union, two slashes (through-term) per equation,
+            # plus the star equations with a single operator.
+            assert counts.total <= 4
+
+    def test_equation_count_polynomial(self):
+        graph = DTDGraph(samples.gedml_dtd())
+        index = CycleEXIndex(graph)
+        n = len(graph)
+        assert len(index.equations) <= n * n * (n + 1)
+
+    def test_rec_query_is_pruned(self):
+        query = rec_query(samples.cross_dtd(), "a", "d")
+        used = set(query.result.variables())
+        for equation in query.equations:
+            used |= equation.expression.variables()
+        assert set(query.variables()) <= used | {eq.variable for eq in query.equations}
+        # And it must be dramatically smaller than the full table.
+        full = CycleEXIndex(DTDGraph(samples.cross_dtd()))
+        assert len(query.equations) < len(full.equations)
+
+    def test_rec_prunes_dead_branches(self):
+        query = rec_query(samples.cross_dtd(), "c", "d")
+        # No equation may mention the unreachable-from-c type 'a'.
+        assert "a" not in {str(v) for eq in query.equations for v in [eq.variable]}
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize(
+        "factory, source, target",
+        [
+            (samples.cross_dtd, "a", "d"),
+            (samples.cross_dtd, "b", "b"),
+            (samples.cross_dtd, "c", "b"),
+            (samples.bioml_dtd, "gene", "locus"),
+            (samples.bioml_dtd, "dna", "gene"),
+            (samples.gedml_dtd, "even", "data"),
+            (samples.dept_dtd, "dept", "project"),
+            (samples.dept_dtd, "course", "course"),
+        ],
+    )
+    def test_rec_equals_descendant_axis(self, factory, source, target):
+        dtd = factory()
+        tree = generate_document(dtd, x_l=6, x_r=3, seed=19, max_elements=800)
+        query = rec_query(dtd, source, target)
+        oracle = XPathEvaluator(tree)
+        evaluator = ExtendedXPathEvaluator(tree, query)
+        descendant = parse_xpath(f"//{target}")
+        for context in tree.nodes_with_label(source):
+            expected = {n.node_id for n in oracle.evaluate_at(context, descendant)}
+            if source == target:
+                # rec(A, A) has descendant-or-self semantics: the zero-length
+                # path keeps the context itself (needed by the // translation).
+                expected |= {context.node_id}
+            actual = {n.node_id for n in evaluator.evaluate_at(context, query.result)}
+            assert actual == expected
+
+    @pytest.mark.parametrize("source,target", [("a", "d"), ("b", "c"), ("c", "c")])
+    def test_cycleex_equals_cyclee(self, source, target):
+        """Both algorithms denote the same path language (inline and compare)."""
+        dtd = samples.cross_dtd()
+        tree = generate_document(dtd, x_l=7, x_r=3, seed=21, max_elements=600)
+        cyclee_expr = CycleE(DTDGraph(dtd)).rec(source, target)
+        cycleex_query = rec_query(dtd, source, target)
+        e_eval = ExtendedXPathEvaluator(tree)
+        x_eval = ExtendedXPathEvaluator(tree, cycleex_query)
+        for context in tree.nodes_with_label(source):
+            via_e = {n.node_id for n in e_eval.evaluate_at(context, cyclee_expr)}
+            via_x = {n.node_id for n in x_eval.evaluate_at(context, cycleex_query.result)}
+            assert via_e == via_x
+
+
+class TestPolynomialSize:
+    def test_quadratic_growth_on_dag_family(self):
+        slashes = []
+        for n in range(3, 10):
+            query = rec_query(samples.complete_dag_dtd(n), "A1", f"A{n}")
+            slashes.append(count_operators(query).slashes)
+        # CycleEX growth is polynomial: far below the 2^(n-2) of CycleE.
+        assert slashes[-1] < 2 ** (9 - 2)
+        assert slashes[-1] <= 9 * 9
+
+    def test_smaller_than_cyclee_on_gedml(self):
+        dtd = samples.gedml_dtd()
+        graph = DTDGraph(dtd)
+        cyclee_counts = count_operators(CycleE(graph).rec("even", "data"))
+        cycleex_counts = count_operators(CycleEXIndex(graph).rec("even", "data"))
+        assert cycleex_counts.total < cyclee_counts.total
+        assert cycleex_counts.stars <= cyclee_counts.stars

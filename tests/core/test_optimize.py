@@ -1,0 +1,108 @@
+"""Unit tests for program-level optimisations and option presets."""
+
+import pytest
+
+from repro.core.optimize import (
+    baseline_options,
+    eliminate_common_subexpressions,
+    push_selection_options,
+    standard_options,
+)
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.dtd import samples
+from repro.relational.algebra import Assignment, Compose, Program, Scan, Select, Condition
+from repro.relational.executor import execute_program
+from repro.relational.schema import T as T_COLUMN
+from repro.xpath.evaluator import evaluate_xpath
+from repro.xpath.parser import parse_xpath
+
+
+class TestOptionPresets:
+    def test_baseline_disables_everything(self):
+        options = baseline_options()
+        assert not options.use_small_seed
+        assert not options.push_selections
+
+    def test_standard_enables_small_seed_only(self):
+        options = standard_options()
+        assert options.use_small_seed
+        assert not options.push_selections
+
+    def test_push_enables_both(self):
+        options = push_selection_options()
+        assert options.use_small_seed
+        assert options.push_selections
+
+
+class TestCommonSubexpressionElimination:
+    def test_duplicate_assignments_merged(self):
+        program = Program(
+            [
+                Assignment("T1", Compose(Scan("R_a"), Scan("R_b"))),
+                Assignment("T2", Compose(Scan("R_a"), Scan("R_b"))),
+                Assignment("T3", Compose(Scan("T1"), Scan("T2"))),
+            ],
+            Scan("T3"),
+        )
+        optimized = eliminate_common_subexpressions(program)
+        assert len(optimized) == 2
+        # T2's uses must have been redirected to T1.
+        rewritten = optimized.expression_for("T3")
+        assert str(rewritten) == "(T1 . T1)"
+
+    def test_distinct_assignments_kept(self):
+        program = Program(
+            [
+                Assignment("T1", Compose(Scan("R_a"), Scan("R_b"))),
+                Assignment("T2", Compose(Scan("R_b"), Scan("R_a"))),
+            ],
+            Compose(Scan("T1"), Scan("T2")),
+        )
+        optimized = eliminate_common_subexpressions(program)
+        assert len(optimized) == 2
+
+    def test_chained_duplicates_collapse_transitively(self):
+        program = Program(
+            [
+                Assignment("A1", Compose(Scan("R_a"), Scan("R_b"))),
+                Assignment("A2", Compose(Scan("R_a"), Scan("R_b"))),
+                Assignment("B1", Select(Scan("A1"), (Condition("F", "=", "_"),))),
+                Assignment("B2", Select(Scan("A2"), (Condition("F", "=", "_"),))),
+            ],
+            Compose(Scan("B1"), Scan("B2")),
+        )
+        optimized = eliminate_common_subexpressions(program)
+        assert len(optimized) == 2
+
+    def test_semantics_preserved_on_real_translation(self, dept_dtd, dept_tree, dept_shredded):
+        translator = XPathToSQLTranslator(dept_dtd)
+        result = translator.translate("dept//student/qualified//course")
+        optimized = eliminate_common_subexpressions(result.program)
+        assert len(optimized) <= len(result.program)
+        original_rows, _ = execute_program(dept_shredded.database, result.program)
+        optimized_rows, _ = execute_program(dept_shredded.database, optimized)
+        assert original_rows.rows == optimized_rows.rows
+
+    def test_cse_reduces_size_when_same_rec_used_twice(self, cross_dtd):
+        translator = XPathToSQLTranslator(cross_dtd)
+        result = translator.translate("a//d | a//c")
+        optimized = eliminate_common_subexpressions(result.program)
+        assert len(optimized) <= len(result.program)
+
+
+class TestPushSelectionEffect:
+    def test_push_reduces_fixpoint_work(self, cross_dtd, cross_tree, cross_shredded):
+        query = 'a/b[text() = "b-0"]//c/d'
+        pushed = XPathToSQLTranslator(cross_dtd, options=push_selection_options())
+        plain = XPathToSQLTranslator(cross_dtd, options=standard_options())
+        _, push_stats = pushed.execute(query, cross_shredded)
+        _, plain_stats = plain.execute(query, cross_shredded)
+        assert push_stats.tuples_materialized <= plain_stats.tuples_materialized
+
+    def test_push_and_plain_agree(self, cross_dtd, cross_tree, cross_shredded):
+        query = 'a/b//c/d[text() = "d-1"]'
+        expected = {n.node_id for n in evaluate_xpath(cross_tree, parse_xpath(query))}
+        for options in (standard_options(), push_selection_options(), baseline_options()):
+            translator = XPathToSQLTranslator(cross_dtd, options=options)
+            got = {n.node_id for n in translator.answer(query, cross_shredded)}
+            assert got == expected

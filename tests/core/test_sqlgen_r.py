@@ -1,0 +1,93 @@
+"""Unit tests for the SQLGen-R baseline."""
+
+import pytest
+
+from repro.core.sqlgen_r import SQLGenR
+from repro.dtd import samples
+from repro.expath.ast import EDescendants, iter_subexpressions
+from repro.relational.algebra import Fixpoint, RecursiveUnion
+from repro.relational.executor import execute_program
+from repro.relational.schema import T as T_COLUMN
+from repro.shredding.shredder import shred_document
+from repro.xmltree.generator import generate_document
+from repro.xpath.evaluator import evaluate_xpath
+from repro.xpath.parser import parse_xpath
+
+
+@pytest.fixture(scope="module")
+def cross():
+    dtd = samples.cross_dtd()
+    tree = generate_document(dtd, x_l=8, x_r=3, seed=41, max_elements=800)
+    return dtd, tree, shred_document(tree, dtd)
+
+
+class TestStructure:
+    def test_extended_query_contains_descendant_markers(self, cross):
+        dtd, _, _ = cross
+        baseline = SQLGenR(dtd)
+        extended = baseline.to_extended("a//d")
+        markers = [
+            expr
+            for equation in extended.equations
+            for expr in iter_subexpressions(equation.expression)
+            if isinstance(expr, EDescendants)
+        ] + [expr for expr in iter_subexpressions(extended.result) if isinstance(expr, EDescendants)]
+        assert markers
+
+    def test_program_uses_recursive_union_not_lfp(self, cross):
+        dtd, _, _ = cross
+        program = SQLGenR(dtd).translate("a//d")
+        expressions = list(program.iter_expressions())
+        assert any(isinstance(e, RecursiveUnion) for e in expressions)
+        assert not any(isinstance(e, Fixpoint) for e in expressions)
+
+    def test_recursive_union_covers_query_graph_edges(self, cross):
+        dtd, _, _ = cross
+        program = SQLGenR(dtd).translate("a//d")
+        unions = [e for e in program.iter_expressions() if isinstance(e, RecursiveUnion)]
+        # The b/c/d strongly connected region has 4 internal edges.
+        assert max(len(u.steps) for u in unions) >= 4
+
+    def test_component_decomposition(self, cross):
+        dtd, _, _ = cross
+        components = SQLGenR(dtd).query_graph_components()
+        assert components[0] == ["a"]
+        assert {"b", "c", "d"} in [set(c) for c in components]
+
+    def test_dept_query_graph_components(self):
+        baseline = SQLGenR(samples.dept_dtd())
+        components = baseline.query_graph_components()
+        cyclic = [c for c in components if len(c) > 1]
+        assert len(cyclic) == 1
+        assert "course" in cyclic[0]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "query",
+        ["a//d", "a/b//c/d", "a[//c]//d", "a[not //c]", "//c"],
+    )
+    def test_answers_match_oracle(self, cross, query):
+        dtd, tree, shredded = cross
+        program = SQLGenR(dtd).translate(query)
+        relation, _ = execute_program(shredded.database, program)
+        got = {int(v) for v in relation.column_values(T_COLUMN)}
+        expected = {n.node_id for n in evaluate_xpath(tree, parse_xpath(query))}
+        assert got == expected
+
+    def test_gedml_query(self):
+        dtd = samples.gedml_dtd()
+        tree = generate_document(dtd, x_l=6, x_r=3, seed=43, max_elements=600)
+        shredded = shred_document(tree, dtd)
+        program = SQLGenR(dtd).translate("even//data")
+        relation, _ = execute_program(shredded.database, program)
+        got = {int(v) for v in relation.column_values(T_COLUMN)}
+        expected = {n.node_id for n in evaluate_xpath(tree, parse_xpath("even//data"))}
+        assert got == expected
+
+    def test_naive_iteration_cost_recorded(self, cross):
+        dtd, _, shredded = cross
+        program = SQLGenR(dtd).translate("a//d")
+        _, stats = execute_program(shredded.database, program)
+        # The black-box recursion must have iterated at least tree-height times.
+        assert stats.recursive_union_iterations >= 3

@@ -1,0 +1,90 @@
+"""Unit tests for CycleE (Tarjan's path expressions)."""
+
+import pytest
+
+from repro.core.tarjan import CycleE, cycle_expression
+from repro.dtd.graph import DTDGraph
+from repro.dtd import samples
+from repro.expath.ast import EEmpty, EEmptySet, ExtendedXPathQuery
+from repro.expath.evaluator import evaluate_extended
+from repro.expath.metrics import count_operators
+from repro.xmltree.generator import generate_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_xpath
+
+
+class TestExpressions:
+    def test_no_path_gives_empty_set(self):
+        expr = cycle_expression(samples.cross_dtd(), "d", "a")
+        assert expr == EEmptySet()
+
+    def test_direct_edge(self):
+        expr = cycle_expression(samples.cross_dtd(), "a", "b")
+        # Paths from a to b: b, b (c b)*... the expression must at least not
+        # be empty and must mention the b label.
+        assert "b" in str(expr)
+
+    def test_self_pair_includes_identity(self):
+        expr = cycle_expression(samples.cross_dtd(), "a", "a")
+        assert expr == EEmpty()  # 'a' is not on a cycle: only the zero-length path
+
+    def test_self_pair_on_cycle(self):
+        expr = cycle_expression(samples.cross_dtd(), "b", "b")
+        assert expr != EEmpty()
+        assert "." in str(expr) or isinstance(expr, EEmpty)
+
+    def test_acyclic_graph_has_no_stars(self):
+        expr = cycle_expression(samples.complete_dag_dtd(5), "A1", "A5")
+        assert count_operators(expr).stars == 0
+
+    def test_recursive_graph_has_stars(self):
+        expr = cycle_expression(samples.cross_dtd(), "a", "d")
+        assert count_operators(expr).stars >= 1
+
+    def test_table_cached_across_pairs(self):
+        cyclee = CycleE(DTDGraph(samples.cross_dtd()))
+        first = cyclee.rec("a", "d")
+        second = cyclee.rec("a", "d")
+        assert first == second
+
+    def test_operator_counts_api(self):
+        cyclee = CycleE(DTDGraph(samples.cross_dtd()))
+        counts = cyclee.operator_counts("a", "d")
+        assert counts.total > 0
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "factory, source, target",
+        [
+            (samples.cross_dtd, "a", "d"),
+            (samples.cross_dtd, "b", "c"),
+            (samples.bioml_dtd, "gene", "locus"),
+            (samples.gedml_dtd, "even", "data"),
+            (samples.dept_dtd, "dept", "project"),
+        ],
+    )
+    def test_equivalent_to_descendant_axis(self, factory, source, target):
+        """rec(A, B) evaluated at an A element equals //B at that element."""
+        dtd = factory()
+        tree = generate_document(dtd, x_l=6, x_r=3, seed=17, max_elements=800)
+        expr = cycle_expression(dtd, source, target)
+        query = ExtendedXPathQuery([], expr)
+        oracle = XPathEvaluator(tree)
+        descendant = parse_xpath(f"//{target}")
+        from repro.expath.evaluator import ExtendedXPathEvaluator
+
+        evaluator = ExtendedXPathEvaluator(tree, query)
+        for context in tree.nodes_with_label(source):
+            expected = {n.node_id for n in oracle.evaluate_at(context, descendant)}
+            actual = {n.node_id for n in evaluator.evaluate_at(context, expr)}
+            assert actual == expected
+
+    def test_exponential_growth_on_dag_family(self):
+        sizes = []
+        for n in range(3, 9):
+            expr = cycle_expression(samples.complete_dag_dtd(n), "A1", f"A{n}")
+            sizes.append(count_operators(expr).slashes)
+        # Each step roughly doubles the number of '/' operators (Example 4.2).
+        assert sizes[-1] >= 2 * sizes[-2]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,126 @@
+"""Unit tests for DTD graph analysis (reachability, SCCs, simple cycles)."""
+
+import pytest
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd.model import DTD, empty, ref, seq, star
+from repro.dtd import samples
+
+
+@pytest.fixture()
+def dept_graph():
+    return DTDGraph(samples.dept_dtd())
+
+
+@pytest.fixture()
+def cross_graph():
+    return DTDGraph(samples.cross_dtd())
+
+
+class TestBasics:
+    def test_node_numbering_starts_at_one(self, cross_graph):
+        assert cross_graph.number_of("a") == 1
+        assert cross_graph.node_at(1) == "a"
+        assert len(cross_graph) == 4
+
+    def test_explicit_order_must_cover_types(self):
+        dtd = samples.cross_dtd()
+        with pytest.raises(ValueError):
+            DTDGraph(dtd, order=["a", "b"])
+
+    def test_successors_and_predecessors(self, cross_graph):
+        assert set(cross_graph.successors("c")) == {"b", "d"}
+        assert set(cross_graph.predecessors("c")) == {"b", "d"}
+
+    def test_has_edge_and_starred(self, dept_graph):
+        assert dept_graph.has_edge("dept", "course")
+        assert dept_graph.is_starred("dept", "course")
+        assert dept_graph.has_edge("course", "cno")
+        assert not dept_graph.is_starred("course", "cno")
+        assert not dept_graph.has_edge("cno", "dept")
+
+    def test_edges_count_matches_samples(self, cross_graph):
+        assert len(cross_graph.edges) == 5
+
+
+class TestReachability:
+    def test_reachable_from_root(self, cross_graph):
+        assert cross_graph.reachable("a") == {"b", "c", "d"}
+
+    def test_reachable_excludes_unreachable(self, cross_graph):
+        # 'd' reaches c and b (via c) but not a.
+        assert cross_graph.reachable("d") == {"b", "c", "d"}
+        assert not cross_graph.reaches("d", "a")
+
+    def test_reaches_self_requires_cycle(self, cross_graph):
+        assert cross_graph.reaches("b", "b")
+        assert not cross_graph.reaches("a", "a")
+
+    def test_shortest_path(self, cross_graph):
+        assert cross_graph.shortest_path("a", "d") == ["a", "b", "c", "d"]
+        assert cross_graph.shortest_path("d", "a") is None
+
+    def test_shortest_path_cycle(self, cross_graph):
+        assert cross_graph.shortest_path("b", "b") == ["b", "c", "b"]
+
+
+class TestComponentsAndCycles:
+    def test_scc_partition(self, cross_graph):
+        components = cross_graph.strongly_connected_components()
+        as_sets = [frozenset(c) for c in components]
+        assert frozenset({"b", "c", "d"}) in as_sets
+        assert frozenset({"a"}) in as_sets
+
+    def test_topological_components_root_first(self, cross_graph):
+        components = cross_graph.topological_components()
+        assert components[0] == ["a"]
+
+    def test_simple_cycle_counts_match_paper(self):
+        expected = {
+            "cross": 2,
+            "bioml-a": 2,
+            "bioml-b": 3,
+            "bioml-c": 3,
+            "bioml-d": 4,
+            "gedml": 9,
+            "dept": 3,
+        }
+        for name, count in expected.items():
+            dtd = samples.paper_dtds()[name]
+            assert DTDGraph(dtd).cycle_count() == count, name
+
+    def test_acyclic_graph_has_no_cycles(self):
+        dtd = samples.complete_dag_dtd(5)
+        graph = DTDGraph(dtd)
+        assert not graph.is_cyclic()
+        assert graph.cycle_count() == 0
+
+    def test_is_cyclic_on_recursive_dtd(self, dept_graph):
+        assert dept_graph.is_cyclic()
+
+    def test_self_loop_is_a_simple_cycle(self):
+        dtd = DTD("r", {"r": star("r")})
+        graph = DTDGraph(dtd)
+        assert graph.cycle_count() == 1
+        assert graph.simple_cycles() == [["r"]]
+
+
+class TestContainment:
+    def test_subgraph_relation(self):
+        small = DTDGraph(samples.bioml_subgraph_a())
+        big = DTDGraph(samples.bioml_subgraph_d())
+        assert small.is_subgraph_of(big)
+        assert not big.is_subgraph_of(small)
+
+    def test_edge_counts_match_table5(self):
+        expected_edges = {
+            "cross": 5,
+            "bioml-a": 5,
+            "bioml-b": 6,
+            "bioml-c": 6,
+            "bioml-d": 7,
+            "gedml": 11,
+        }
+        for name, count in expected_edges.items():
+            graph = DTDGraph(samples.paper_dtds()[name])
+            assert len(graph.edges) == count, name

@@ -1,0 +1,174 @@
+"""Unit tests for the DTD content-model and DTD classes."""
+
+import pytest
+
+from repro.dtd.model import (
+    DTD,
+    Choice,
+    Empty,
+    Optional,
+    Plus,
+    Sequence,
+    Star,
+    TypeRef,
+    choice,
+    empty,
+    opt,
+    plus,
+    ref,
+    seq,
+    star,
+)
+from repro.errors import DTDError
+
+
+class TestContentModels:
+    def test_empty_has_no_types(self):
+        assert empty().element_types() == set()
+        assert empty().nullable()
+
+    def test_ref_names_single_type(self):
+        assert ref("course").element_types() == {"course"}
+        assert not ref("course").nullable()
+
+    def test_seq_collects_types(self):
+        model = seq("a", "b", star("c"))
+        assert model.element_types() == {"a", "b", "c"}
+
+    def test_seq_of_one_collapses(self):
+        assert seq("a") == TypeRef("a")
+
+    def test_seq_of_none_is_empty(self):
+        assert seq() == Empty()
+
+    def test_choice_nullable_when_any_branch_nullable(self):
+        assert choice(star("a"), "b").nullable()
+        assert not choice("a", "b").nullable()
+
+    def test_star_is_nullable_and_marks_starred(self):
+        model = star("a")
+        assert model.nullable()
+        assert model.starred_types() == {"a"}
+
+    def test_plus_not_nullable(self):
+        assert not plus("a").nullable()
+        assert plus("a").starred_types() == {"a"}
+
+    def test_optional_nullable_but_not_starred(self):
+        model = opt("a")
+        assert model.nullable()
+        assert model.starred_types() == set()
+
+    def test_nested_starred_types(self):
+        model = seq("a", star(seq("b", "c")))
+        assert model.starred_types() == {"b", "c"}
+
+    def test_str_round_trips_through_parser(self):
+        from repro.dtd.parser import parse_content_model
+
+        model = seq("a", choice("b", star("c")), opt("d"))
+        assert parse_content_model(str(model)) == model
+
+    def test_coerce_rejects_bad_parts(self):
+        with pytest.raises(DTDError):
+            seq(42)
+
+
+class TestDTD:
+    def _simple(self):
+        return DTD(
+            "r",
+            {"r": star("a"), "a": seq("b", star("a")), "b": empty()},
+            text_types=["b"],
+            name="simple",
+        )
+
+    def test_root_and_types(self):
+        dtd = self._simple()
+        assert dtd.root == "r"
+        assert dtd.element_types == ["r", "a", "b"]
+        assert len(dtd) == 3
+
+    def test_missing_root_production_rejected(self):
+        with pytest.raises(DTDError):
+            DTD("r", {"a": empty()})
+
+    def test_missing_child_production_rejected(self):
+        with pytest.raises(DTDError):
+            DTD("r", {"r": ref("missing")})
+
+    def test_unknown_text_type_rejected(self):
+        with pytest.raises(DTDError):
+            DTD("r", {"r": empty()}, text_types=["nope"])
+
+    def test_children_and_parents(self):
+        dtd = self._simple()
+        assert dtd.children("a") == ["a", "b"]
+        assert dtd.parents("a") == ["a", "r"]
+        assert dtd.parents("r") == []
+
+    def test_child_specs_starred_flags(self):
+        dtd = self._simple()
+        specs = {(s.child, s.starred) for s in dtd.child_specs("a")}
+        assert specs == {("a", True), ("b", False)}
+
+    def test_edges_cover_all_productions(self):
+        dtd = self._simple()
+        edges = {(e.parent, e.child) for e in dtd.edges()}
+        assert edges == {("r", "a"), ("a", "a"), ("a", "b")}
+
+    def test_reachability_and_recursion(self):
+        dtd = self._simple()
+        assert dtd.reachable_from("r") == {"a", "b"}
+        assert dtd.is_recursive()
+        assert dtd.recursive_types() == {"a"}
+
+    def test_non_recursive_dtd(self):
+        dtd = DTD("r", {"r": ref("a"), "a": empty()})
+        assert not dtd.is_recursive()
+        assert dtd.recursive_types() == set()
+
+    def test_production_lookup_unknown_type(self):
+        with pytest.raises(DTDError):
+            self._simple().production("nope")
+
+    def test_contains_and_iter(self):
+        dtd = self._simple()
+        assert "a" in dtd
+        assert "zzz" not in dtd
+        assert list(dtd) == ["r", "a", "b"]
+
+    def test_restricted_to_drops_types_and_edges(self):
+        dtd = self._simple()
+        sub = dtd.restricted_to(["r", "a"])
+        assert sub.element_types == ["r", "a"]
+        assert sub.children("a") == ["a"]
+
+    def test_restricted_to_requires_root(self):
+        with pytest.raises(DTDError):
+            self._simple().restricted_to(["a", "b"])
+
+    def test_containment(self):
+        dtd = self._simple()
+        sub = dtd.restricted_to(["r", "a"])
+        assert sub.is_contained_in(dtd)
+        assert not dtd.is_contained_in(sub)
+        assert dtd.is_contained_in(dtd)
+
+    def test_containment_requires_same_root(self):
+        other = DTD("other", {"other": empty()})
+        assert not other.is_contained_in(self._simple())
+
+    def test_with_name(self):
+        renamed = self._simple().with_name("renamed")
+        assert renamed.name == "renamed"
+        assert renamed.element_types == self._simple().element_types
+
+    def test_to_text_round_trips(self):
+        from repro.dtd.parser import parse_dtd
+
+        dtd = self._simple()
+        reparsed = parse_dtd(dtd.to_text(), name="simple")
+        assert reparsed.element_types == dtd.element_types
+        assert reparsed.children("a") == dtd.children("a")
+        assert reparsed.text_types == dtd.text_types

@@ -1,0 +1,125 @@
+"""Unit tests for the DTD text parsers."""
+
+import pytest
+
+from repro.dtd.model import Choice, Empty, Optional, Plus, Sequence, Star, TypeRef
+from repro.dtd.parser import parse_content_model, parse_dtd, parse_element_decls
+from repro.errors import DTDParseError
+
+
+class TestContentModelParser:
+    def test_single_ref(self):
+        assert parse_content_model("course") == TypeRef("course")
+
+    def test_empty_keyword(self):
+        assert parse_content_model("EMPTY") == Empty()
+        assert parse_content_model("") == Empty()
+
+    def test_sequence(self):
+        model = parse_content_model("cno, title, prereq")
+        assert isinstance(model, Sequence)
+        assert [str(p) for p in model.parts] == ["cno", "title", "prereq"]
+
+    def test_choice(self):
+        model = parse_content_model("a | b | c")
+        assert isinstance(model, Choice)
+        assert len(model.parts) == 3
+
+    def test_star_plus_optional(self):
+        assert parse_content_model("a*") == Star(TypeRef("a"))
+        assert parse_content_model("a+") == Plus(TypeRef("a"))
+        assert parse_content_model("a?") == Optional(TypeRef("a"))
+
+    def test_nested_groups(self):
+        model = parse_content_model("(a | b)*, c")
+        assert isinstance(model, Sequence)
+        assert isinstance(model.parts[0], Star)
+        assert isinstance(model.parts[0].inner, Choice)
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("(a | b")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("a b")
+
+
+class TestGrammarSyntax:
+    DEPT_TEXT = """
+    root dept
+    dept   -> course*
+    course -> cno, title, prereq, takenBy, project*
+    prereq -> course*
+    takenBy -> student*
+    student -> sno, name, qualified
+    qualified -> course*
+    project -> pno, ptitle, required
+    required -> course*
+    cno -> EMPTY #text
+    title -> EMPTY #text
+    """
+
+    def test_parse_dept_like_dtd(self):
+        dtd = parse_dtd(self.DEPT_TEXT, name="dept")
+        assert dtd.root == "dept"
+        assert "course" in dtd
+        assert dtd.is_recursive()
+        assert "cno" in dtd.text_types
+        assert "sno" not in dtd.text_types  # not marked #text in this snippet
+
+    def test_undeclared_leaves_become_empty(self):
+        dtd = parse_dtd("root r\nr -> a, b*")
+        assert dtd.children("a") == []
+        assert dtd.children("b") == []
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("a -> b")
+
+    def test_duplicate_root_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("root a\nroot b\na -> b")
+
+    def test_duplicate_production_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("root a\na -> b\na -> c")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("root a\nthis is not a production")
+
+    def test_comment_lines_ignored(self):
+        dtd = parse_dtd("# a comment\nroot a\na -> b*\n# another\n")
+        assert dtd.root == "a"
+
+
+class TestElementDeclSyntax:
+    BIOML_LIKE = """
+    <!ELEMENT gene (dna*)>
+    <!ELEMENT dna (gene*, clone*)>
+    <!ELEMENT clone (dna*, locus*)>
+    <!ELEMENT locus (#PCDATA)>
+    """
+
+    def test_parse_element_decls(self):
+        dtd = parse_element_decls(self.BIOML_LIKE, name="bioml-like")
+        assert dtd.root == "gene"
+        assert dtd.is_recursive()
+        assert "locus" in dtd.text_types
+
+    def test_explicit_root(self):
+        dtd = parse_element_decls(self.BIOML_LIKE, root="dna")
+        assert dtd.root == "dna"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_element_decls(self.BIOML_LIKE, root="nope")
+
+    def test_no_declarations_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_element_decls("<!ATTLIST a b CDATA #IMPLIED>")
+
+    def test_empty_and_any_content(self):
+        dtd = parse_element_decls("<!ELEMENT a (b)>\n<!ELEMENT b EMPTY>")
+        assert dtd.children("b") == []

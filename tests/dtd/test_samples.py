@@ -1,0 +1,124 @@
+"""Tests pinning the structure of the paper's sample DTDs."""
+
+import pytest
+
+from repro.dtd import samples
+from repro.dtd.graph import DTDGraph
+
+
+class TestDeptDTD:
+    def test_structure(self):
+        dtd = samples.dept_dtd()
+        assert dtd.root == "dept"
+        assert dtd.is_recursive()
+        assert set(dtd.children("course")) == {"cno", "title", "prereq", "takenBy", "project"}
+        assert dtd.children("prereq") == ["course"]
+        assert dtd.children("qualified") == ["course"]
+        assert dtd.children("required") == ["course"]
+
+    def test_three_cycles_through_course(self):
+        graph = DTDGraph(samples.dept_dtd())
+        cycles = graph.simple_cycles()
+        assert len(cycles) == 3
+        for cycle in cycles:
+            assert "course" in cycle
+
+    def test_text_types(self):
+        dtd = samples.dept_dtd()
+        assert {"cno", "title", "sno", "name", "pno", "ptitle"} <= dtd.text_types
+
+    def test_simplified_dept_has_four_types(self):
+        dtd = samples.simplified_dept_dtd()
+        assert len(dtd) == 4
+        assert dtd.is_recursive()
+
+
+class TestCrossDTD:
+    def test_table5_row(self):
+        graph = DTDGraph(samples.cross_dtd())
+        assert len(graph) == 4
+        assert len(graph.edges) == 5
+        assert graph.cycle_count() == 2
+
+    def test_cycles_share_node_c(self):
+        graph = DTDGraph(samples.cross_dtd())
+        shared = set.intersection(*[set(c) for c in graph.simple_cycles()])
+        assert "c" in shared
+
+    def test_all_types_carry_text(self):
+        dtd = samples.cross_dtd()
+        assert dtd.text_types == frozenset({"a", "b", "c", "d"})
+
+
+class TestBiomlFamily:
+    @pytest.mark.parametrize(
+        "factory, edges, cycles",
+        [
+            (samples.bioml_subgraph_a, 5, 2),
+            (samples.bioml_subgraph_b, 6, 3),
+            (samples.bioml_subgraph_c, 6, 3),
+            (samples.bioml_subgraph_d, 7, 4),
+            (samples.bioml_dtd, 7, 4),
+        ],
+    )
+    def test_shapes(self, factory, edges, cycles):
+        graph = DTDGraph(factory())
+        assert len(graph) == 4
+        assert len(graph.edges) == edges
+        assert graph.cycle_count() == cycles
+
+    def test_subgraphs_are_contained_in_full(self):
+        full = samples.bioml_dtd()
+        for factory in (samples.bioml_subgraph_a, samples.bioml_subgraph_b, samples.bioml_subgraph_c):
+            assert factory().is_contained_in(full)
+
+    def test_locus_reachable_from_gene(self):
+        graph = DTDGraph(samples.bioml_subgraph_a())
+        assert graph.reaches("gene", "locus")
+
+
+class TestGedmlDTD:
+    def test_table5_row(self):
+        graph = DTDGraph(samples.gedml_dtd())
+        assert len(graph) == 5
+        assert len(graph.edges) == 11
+        assert graph.cycle_count() == 9
+
+    def test_data_reachable_from_even(self):
+        graph = DTDGraph(samples.gedml_dtd())
+        assert graph.reaches("even", "data")
+
+
+class TestFig3AndDagFamilies:
+    def test_view_contained_in_source(self):
+        view = samples.fig3_view_dtd()
+        source = samples.fig3_source_dtd()
+        assert view.is_contained_in(source)
+        assert not source.is_contained_in(view)
+
+    def test_source_has_extra_edge(self):
+        source = samples.fig3_source_dtd()
+        assert "C" in source.children("B")
+        view = samples.fig3_view_dtd()
+        assert "C" not in view.children("B")
+
+    def test_complete_dag_edge_count(self):
+        dtd = samples.complete_dag_dtd(4)
+        graph = DTDGraph(dtd)
+        assert len(graph.edges) == 6  # n*(n-1)/2 for n=4
+        assert not graph.is_cyclic()
+
+    def test_complete_dag_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            samples.complete_dag_dtd(1)
+
+    def test_blocker_dag_contains_plain_dag(self):
+        plain = samples.complete_dag_dtd(4)
+        blocked = samples.complete_dag_with_blocker_dtd(4)
+        assert plain.is_contained_in(blocked)
+        assert "B" in blocked.children("A1")
+        assert blocked.children("B") == ["A4"]
+
+    def test_describe_mentions_counts(self):
+        text = samples.describe(samples.cross_dtd())
+        assert "n=4" in text and "m=5" in text and "c=2" in text

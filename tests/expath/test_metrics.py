@@ -1,0 +1,76 @@
+"""Unit tests for extended XPath operator counting (Table 5 quantities)."""
+
+from repro.expath.ast import (
+    ELabel,
+    EPathQual,
+    EQualified,
+    ESlash,
+    EStar,
+    EUnion,
+    EVar,
+    Equation,
+    ExtendedXPathQuery,
+)
+from repro.expath.metrics import OperatorCounts, count_operators
+
+
+class TestExpressionCounts:
+    def test_single_label_has_no_operators(self):
+        counts = count_operators(ELabel("a"))
+        assert counts.total == 0
+
+    def test_slash_and_union_counts(self):
+        expr = EUnion(ESlash(ELabel("a"), ELabel("b")), ELabel("c"))
+        counts = count_operators(expr)
+        assert counts.slashes == 1
+        assert counts.unions == 1
+        assert counts.total == 2
+
+    def test_star_counts_as_lfp(self):
+        expr = EStar(ESlash(ELabel("a"), ELabel("b")))
+        counts = count_operators(expr)
+        assert counts.stars == 1
+        assert counts.lfp == 1
+        assert counts.total == 2
+
+    def test_qualifier_counts(self):
+        expr = EQualified(ELabel("a"), EPathQual(ESlash(ELabel("b"), ELabel("c"))))
+        counts = count_operators(expr)
+        assert counts.qualifiers == 1
+        assert counts.slashes == 1
+
+    def test_variables_counted_separately(self):
+        expr = ESlash(EVar("X"), EVar("Y"))
+        counts = count_operators(expr)
+        assert counts.variables == 2
+        assert counts.total == 1  # only the slash is an operator
+
+    def test_counts_are_additive(self):
+        total = OperatorCounts(slashes=1) + OperatorCounts(slashes=2, unions=1)
+        assert total.slashes == 3
+        assert total.unions == 1
+
+
+class TestQueryCounts:
+    def test_query_sums_equations_and_result(self):
+        query = ExtendedXPathQuery(
+            [
+                Equation("X", ESlash(ELabel("a"), ELabel("b"))),
+                Equation("Y", EStar(EVar("X"))),
+            ],
+            ESlash(ELabel("r"), EVar("Y")),
+        )
+        counts = count_operators(query)
+        assert counts.slashes == 2
+        assert counts.stars == 1
+        assert counts.total == 3
+
+    def test_variable_reuse_counted_once(self):
+        # The whole point of CycleEX: reusing X does not duplicate its operators.
+        shared = ESlash(ELabel("a"), ESlash(ELabel("b"), ELabel("c")))
+        query = ExtendedXPathQuery(
+            [Equation("X", shared)],
+            EUnion(EVar("X"), ESlash(EVar("X"), ELabel("d"))),
+        )
+        counts = count_operators(query)
+        assert counts.slashes == 2 + 1  # shared counted once, plus the /d

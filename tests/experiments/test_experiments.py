@@ -1,0 +1,121 @@
+"""Tests for the experiment harness and the per-figure experiment modules.
+
+These run tiny ("--quick"-sized) configurations so they are fast; the actual
+figure-scale runs are driven from the benchmarks and the CLI entry points.
+"""
+
+import pytest
+
+from repro.dtd import samples
+from repro.experiments import exp1, exp2, exp3, exp4, exp5
+from repro.experiments.harness import (
+    Approach,
+    default_approaches,
+    format_table,
+    measure_query,
+)
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.core.optimize import standard_options
+from repro.shredding.shredder import shred_document
+from repro.workloads.datasets import DatasetSpec
+
+
+class TestHarness:
+    def test_default_approaches_cover_r_e_x(self):
+        names = [a.name for a in default_approaches()]
+        assert names == ["R", "E", "X"]
+        names_without_e = [a.name for a in default_approaches(include_cyclee=False)]
+        assert names_without_e == ["R", "X"]
+
+    def test_measure_query_records_fields(self, cross_dtd, cross_shredded):
+        approach = Approach("X", DescendantStrategy.CYCLEEX, standard_options())
+        measured = measure_query(approach, cross_dtd, cross_shredded, "a//d", "unit")
+        assert measured.approach == "X"
+        assert measured.dataset == "unit"
+        assert measured.execution_seconds >= 0
+        assert measured.total_seconds >= measured.execution_seconds
+        assert measured.document_elements == cross_shredded.tree.size()
+
+    def test_measurements_agree_across_approaches(self, cross_dtd, cross_shredded):
+        rows = [
+            measure_query(approach, cross_dtd, cross_shredded, "a//d")
+            for approach in default_approaches()
+        ]
+        assert len({row.result_rows for row in rows}) == 1
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+
+class TestExperimentModules:
+    def test_exp1_runs_and_summarizes(self):
+        rows = exp1.run(
+            max_elements=400,
+            xl_values=(6,),
+            xr_values=(3,),
+            queries={"Qa": "a/b//c/d"},
+        )
+        assert len(rows) == 2 * 3  # 2 datasets x 3 approaches x 1 query
+        summary = exp1.summarize(rows)
+        assert "Qa" in summary and "approach" in summary
+
+    def test_exp1_measures_every_approach(self):
+        rows = exp1.run(max_elements=300, xl_values=(6,), xr_values=(), queries={"Qc": "a[not //c]"})
+        assert {row.approach for row in rows} == {"R", "E", "X"}
+
+    def test_exp2_push_vs_nopush(self):
+        rows = exp2.run(max_elements=400, selected_sizes=(100,))
+        assert len(rows) == 2  # Qe and Qf
+        for row in rows:
+            assert row.push_seconds >= 0 and row.nopush_seconds >= 0
+            assert row.selected_actual >= 1
+        assert "speedup" in exp2.summarize(rows)
+
+    def test_exp3_scales_dataset_sizes(self):
+        rows = exp3.run(sizes=(200, 400))
+        assert len(rows) == 2 * 3
+        small = [r for r in rows if r.dataset.startswith("200")]
+        large = [r for r in rows if r.dataset.startswith("400")]
+        assert small and large
+        assert "approach" in exp3.summarize(rows)
+
+    def test_exp4_bioml_cases(self):
+        rows = exp4.run_bioml(max_elements=400, cases=exp4.BIOML_CASES[:2])
+        assert {row.approach for row in rows} == {"R", "E", "X"}
+        assert len(rows) == 2 * 3
+        assert "case" in rows[0].dataset
+
+    def test_exp4_gedml(self):
+        rows = exp4.run_gedml(max_elements=400, xl_values=(8,), xr_values=())
+        assert len(rows) == 3
+        assert all(row.query == "even//data" for row in rows)
+
+    def test_exp5_table5_rows(self):
+        rows = exp5.run(dtds=[("Cross (Fig. 11a)", samples.cross_dtd)])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.nodes == 4 and row.edges == 5 and row.cycles == 2
+        # CycleEX must never use more operators than CycleE on any pair.
+        assert row.cycleex_all[1] <= row.cyclee_all[1]
+        assert row.cycleex_lfp[1] <= row.cyclee_lfp[1]
+        assert "X LFP" in exp5.summarize(rows)
+
+    def test_exp5_operator_growth_shapes(self):
+        growth = exp5.operator_growth(max_n=8)
+        ns = [n for n, _, _ in growth]
+        cyclee = [e for _, e, _ in growth]
+        cycleex = [x for _, _, x in growth]
+        assert ns == list(range(2, 9))
+        # CycleE blows up exponentially; CycleEX stays quadratic.
+        assert cyclee[-1] >= 2 ** (8 - 2) - 1
+        assert cycleex[-1] <= 8 * 8
+
+    def test_exp3_main_quick(self, capsys):
+        assert exp3.main(["--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 14" in output
+        assert "exec_s" in output

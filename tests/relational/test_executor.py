@@ -1,0 +1,254 @@
+"""Unit tests for the relational executor (joins, fixpoints, recursion)."""
+
+import pytest
+
+from repro.errors import ExecutionError, SchemaError
+from repro.relational.algebra import (
+    AntiJoin,
+    Assignment,
+    Compose,
+    Condition,
+    Difference,
+    EdgeStep,
+    EquiJoin,
+    Fixpoint,
+    IdentityRelation,
+    Intersect,
+    Program,
+    Project,
+    RecursiveUnion,
+    Scan,
+    Select,
+    SemiJoin,
+    TagProject,
+    Union,
+)
+from repro.relational.database import Database
+from repro.relational.executor import Executor, execute_program
+from repro.relational.relation import Relation
+from repro.relational.schema import NODE_COLUMNS, DatabaseSchema, RelationSchema
+
+
+@pytest.fixture()
+def database():
+    """A tiny chain/cycle database.
+
+    Nodes: root r(0); a-nodes 1, 2; b-nodes 3, 4; the b-node 4 has an a-child
+    5 (making a recursive a->b->a chain), and node 5 has a b-child 6.
+    """
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R_r", NODE_COLUMNS),
+            RelationSchema("R_a", NODE_COLUMNS),
+            RelationSchema("R_b", NODE_COLUMNS),
+        ],
+        node_relations=["R_r", "R_a", "R_b"],
+        element_relations={"r": "R_r", "a": "R_a", "b": "R_b"},
+    )
+    db = Database(schema)
+    db.set_relation("R_r", Relation(NODE_COLUMNS, {("_", 0, "_")}))
+    db.set_relation(
+        "R_a",
+        Relation(NODE_COLUMNS, {(0, 1, "a-0"), (0, 2, "a-1"), (4, 5, "a-2")}),
+    )
+    db.set_relation(
+        "R_b",
+        Relation(NODE_COLUMNS, {(1, 3, "b-0"), (1, 4, "b-1"), (5, 6, "b-2")}),
+    )
+    return db
+
+
+def run(database, expr):
+    return Executor(database).evaluate(expr)
+
+
+class TestBasicOperators:
+    def test_scan(self, database):
+        assert len(run(database, Scan("R_a"))) == 3
+
+    def test_scan_unknown_relation(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, Scan("nope"))
+
+    def test_select_equality_and_inequality(self, database):
+        eq = run(database, Select(Scan("R_a"), (Condition("V", "=", "a-1"),)))
+        assert eq.rows == {(0, 2, "a-1")}
+        ne = run(database, Select(Scan("R_a"), (Condition("F", "!=", 0),)))
+        assert ne.rows == {(4, 5, "a-2")}
+
+    def test_select_unknown_operator(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, Select(Scan("R_a"), (Condition("V", "<", "a"),)))
+
+    def test_project_with_aliases(self, database):
+        projected = run(database, Project(Scan("R_a"), ("T", "T", "V"), ("F", "T", "V")))
+        assert projected.columns == ("F", "T", "V")
+        assert (1, 1, "a-0") in projected.rows
+
+    def test_project_alias_arity_checked(self, database):
+        with pytest.raises(SchemaError):
+            run(database, Project(Scan("R_a"), ("T",), ("F", "T")))
+
+    def test_tag_project(self, database):
+        tagged = run(database, TagProject(Scan("R_b"), "b"))
+        assert tagged.columns == ("F", "T", "V", "TAG")
+        assert (1, 3, "b-0", "b") in tagged.rows
+
+    def test_identity_relation(self, database):
+        identity = run(database, IdentityRelation())
+        assert (0, 0, "_") in identity.rows
+        assert len(identity) == 7
+
+    def test_compose(self, database):
+        composed = run(database, Compose(Scan("R_a"), Scan("R_b")))
+        assert composed.rows == {(0, 3, "b-0"), (0, 4, "b-1"), (4, 6, "b-2")}
+
+    def test_compose_empty_shortcircuit(self, database):
+        empty = Select(Scan("R_a"), (Condition("V", "=", "none"),))
+        composed = run(database, Compose(empty, Scan("R_b")))
+        assert len(composed) == 0
+
+    def test_equijoin_output_spec(self, database):
+        join = EquiJoin(
+            Scan("R_a"),
+            Scan("R_b"),
+            left_column="T",
+            right_column="F",
+            output=(("L", "F", "start"), ("R", "T", "end")),
+        )
+        result = run(database, join)
+        assert result.columns == ("start", "end")
+        assert (0, 3) in result.rows
+
+    def test_semijoin_and_antijoin(self, database):
+        with_b_child = run(database, SemiJoin(Scan("R_a"), Scan("R_b"), "T", "F"))
+        assert {row[1] for row in with_b_child.rows} == {1, 5}
+        without_b_child = run(database, AntiJoin(Scan("R_a"), Scan("R_b"), "T", "F"))
+        assert {row[1] for row in without_b_child.rows} == {2}
+
+    def test_union_and_difference_and_intersect(self, database):
+        union = run(database, Union((Scan("R_a"), Scan("R_b"))))
+        assert len(union) == 6
+        diff = run(database, Difference(Scan("R_a"), Scan("R_a")))
+        assert len(diff) == 0
+        inter = run(database, Intersect(Union((Scan("R_a"), Scan("R_b"))), Scan("R_b")))
+        assert len(inter) == 3
+
+    def test_union_mismatched_columns_rejected(self, database):
+        with pytest.raises(SchemaError):
+            run(database, Union((Scan("R_a"), TagProject(Scan("R_b"), "b"))))
+
+
+class TestFixpoint:
+    def test_transitive_closure(self, database):
+        # Edges a->b (via parenthood): closure over R_a union R_b composes
+        # chains 0 -> 1 -> 3/4 -> 5 -> 6.
+        base = Union((Scan("R_a"), Scan("R_b")))
+        closure = run(database, Fixpoint(base))
+        assert (0, 6, "b-2") in closure.rows  # root reaches the deepest node
+        assert (1, 5, "a-2") in closure.rows
+        assert (0, 1, "a-0") in closure.rows  # single edges included
+
+    def test_closure_requires_at_least_one_step(self, database):
+        closure = run(database, Fixpoint(Union((Scan("R_a"), Scan("R_b")))))
+        assert all(row[0] != row[1] for row in closure.rows)
+
+    def test_source_anchor_restricts_origins(self, database):
+        base = Union((Scan("R_a"), Scan("R_b")))
+        anchored = run(database, Fixpoint(base, source_anchor=Scan("R_r")))
+        assert {row[0] for row in anchored.rows} == {0}
+        unanchored = run(database, Fixpoint(base))
+        assert {row for row in anchored.rows} == {
+            row for row in unanchored.rows if row[0] == 0
+        }
+
+    def test_target_anchor_restricts_targets(self, database):
+        # The target anchor is the relation composed *after* the closure, so
+        # the closure only keeps tuples whose T can join that relation's F
+        # (here: the parent of node 6, i.e. node 5).
+        base = Union((Scan("R_a"), Scan("R_b")))
+        target = Select(Scan("R_b"), (Condition("T", "=", 6),))
+        anchored = run(database, Fixpoint(base, target_anchor=target))
+        assert {row[1] for row in anchored.rows} == {5}
+        assert (0, 5, "a-2") in anchored.rows
+        assert (1, 5, "a-2") in anchored.rows
+
+    def test_fixpoint_iterations_recorded(self, database):
+        executor = Executor(database)
+        executor.evaluate(Fixpoint(Union((Scan("R_a"), Scan("R_b")))))
+        assert executor.stats.fixpoint_iterations >= 3
+
+
+class TestRecursiveUnion:
+    def _recursive(self):
+        init = TagProject(SemiJoin(Scan("R_a"), Scan("R_r"), "F", "T"), "a")
+        steps = (
+            EdgeStep(Scan("R_b"), "a", "b"),
+            EdgeStep(Scan("R_a"), "b", "a"),
+        )
+        return RecursiveUnion(init, steps)
+
+    def test_origin_preserving_exploration(self, database):
+        result = run(database, self._recursive())
+        assert result.columns == ("F", "T", "V", "TAG")
+        # Origins are the children of the root (a-nodes 1 and 2)... the F of
+        # the init tuples is the root 0, so every tuple keeps origin 0.
+        assert {row[0] for row in result.rows} == {0}
+        assert (0, 6, "b-2", "b") in result.rows
+
+    def test_tag_selection_gives_descendants_of_one_type(self, database):
+        program = Program(
+            [Assignment("acc", self._recursive())],
+            Project(Select(Scan("acc"), (Condition("TAG", "=", "b"),)), ("F", "T", "V")),
+        )
+        result, _ = execute_program(database, program)
+        assert {row[1] for row in result.rows} == {3, 4, 6}
+
+    def test_init_column_check(self, database):
+        bad = RecursiveUnion(Scan("R_a"), (EdgeStep(Scan("R_b"), "a", "b"),))
+        with pytest.raises(SchemaError):
+            run(database, bad)
+
+    def test_iterations_recorded(self, database):
+        executor = Executor(database)
+        executor.evaluate(self._recursive())
+        assert executor.stats.recursive_union_iterations >= 3
+
+
+class TestProgramsAndStrategies:
+    def _program(self):
+        return Program(
+            [
+                Assignment("ab", Compose(Scan("R_a"), Scan("R_b"))),
+                Assignment("unused", Compose(Scan("R_b"), Scan("R_a"))),
+            ],
+            Select(Scan("ab"), (Condition("F", "=", 0),)),
+        )
+
+    def test_lazy_execution_skips_unused_temporaries(self, database):
+        executor = Executor(database, lazy=True)
+        result = executor.run(self._program())
+        assert len(result) == 2
+        assert executor.stats.temporaries_evaluated == 1
+
+    def test_eager_execution_evaluates_everything(self, database):
+        executor = Executor(database, lazy=False)
+        result = executor.run(self._program())
+        assert len(result) == 2
+        assert executor.stats.temporaries_evaluated == 2
+
+    def test_lazy_and_eager_agree(self, database):
+        lazy_result, _ = execute_program(database, self._program(), lazy=True)
+        eager_result, _ = execute_program(database, self._program(), lazy=False)
+        assert lazy_result == eager_result
+
+    def test_unknown_temp_in_eager_mode(self, database):
+        program = Program([], Scan("never_defined"))
+        with pytest.raises(ExecutionError):
+            execute_program(database, program, lazy=False)
+
+    def test_stats_dictionary(self, database):
+        _, stats = execute_program(database, self._program())
+        as_dict = stats.as_dict()
+        assert as_dict["temporaries_evaluated"] == 1
+        assert as_dict["elapsed_seconds"] >= 0

@@ -1,0 +1,80 @@
+"""Unit tests for the Relation class."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def edges():
+    return Relation(("F", "T", "V"), {("a", "b", "_"), ("b", "c", "x"), ("a", "d", "_")}, name="edges")
+
+
+class TestConstruction:
+    def test_rows_and_columns(self, edges):
+        assert edges.columns == ("F", "T", "V")
+        assert len(edges) == 3
+        assert ("a", "b", "_") in edges
+
+    def test_duplicate_rows_collapse(self):
+        relation = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(relation) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_add_checks_arity(self, edges):
+        edges.add(("c", "e", "_"))
+        assert len(edges) == 4
+        with pytest.raises(SchemaError):
+            edges.add(("too", "few"))
+
+    def test_equality_is_structural(self):
+        first = Relation(("a",), [(1,), (2,)])
+        second = Relation(("a",), [(2,), (1,)])
+        assert first == second
+        assert first != Relation(("a",), [(1,)])
+        assert first != Relation(("b",), [(1,), (2,)])
+
+    def test_not_hashable(self, edges):
+        with pytest.raises(TypeError):
+            hash(edges)
+
+
+class TestOperations:
+    def test_column_index_and_unknown_column(self, edges):
+        assert edges.column_index("T") == 1
+        with pytest.raises(SchemaError):
+            edges.column_index("missing")
+
+    def test_column_values(self, edges):
+        assert edges.column_values("F") == {"a", "b"}
+
+    def test_project(self, edges):
+        projected = edges.project(("F",))
+        assert projected.columns == ("F",)
+        assert projected.rows == {("a",), ("b",)}
+
+    def test_project_duplicate_column(self, edges):
+        projected = edges.project(("T", "T"))
+        assert ("b", "b") in projected.rows
+
+    def test_restrict(self, edges):
+        restricted = edges.restrict("F", "a")
+        assert len(restricted) == 2
+
+    def test_index_on(self, edges):
+        index = edges.index_on("F")
+        assert len(index["a"]) == 2
+        assert len(index["b"]) == 1
+
+    def test_copy_is_independent(self, edges):
+        clone = edges.copy(name="clone")
+        clone.add(("z", "z", "z"))
+        assert len(edges) == 3
+        assert clone.name == "clone"
+
+    def test_sorted_rows_deterministic(self, edges):
+        assert edges.sorted_rows() == sorted(edges.rows, key=lambda r: tuple(str(v) for v in r))

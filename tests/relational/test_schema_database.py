@@ -1,0 +1,108 @@
+"""Unit tests for relational schemas and database instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import NODE_COLUMNS, DatabaseSchema, RelationSchema
+
+
+@pytest.fixture()
+def schema():
+    return DatabaseSchema(
+        [
+            RelationSchema("R_a", NODE_COLUMNS),
+            RelationSchema("R_b", NODE_COLUMNS),
+            RelationSchema("extra", ("ID", "parentId")),
+        ],
+        node_relations=["R_a", "R_b"],
+        element_relations={"a": "R_a", "b": "R_b"},
+    )
+
+
+class TestRelationSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("bad", ("a", "a"))
+
+    def test_has_column(self):
+        schema = RelationSchema("R", NODE_COLUMNS)
+        assert schema.has_column("F")
+        assert not schema.has_column("missing")
+
+    def test_ddl_contains_key(self):
+        ddl = RelationSchema("R", NODE_COLUMNS).ddl()
+        assert "CREATE TABLE R" in ddl
+        assert "PRIMARY KEY (T)" in ddl
+
+    def test_ddl_without_t_column(self):
+        ddl = RelationSchema("R", ("ID", "parentId")).ddl()
+        assert "PRIMARY KEY" not in ddl
+
+
+class TestDatabaseSchema:
+    def test_lookup(self, schema):
+        assert schema.relation("R_a").columns == NODE_COLUMNS
+        assert schema.has_relation("extra")
+        assert not schema.has_relation("nope")
+        assert len(schema) == 3
+
+    def test_unknown_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.relation("nope")
+
+    def test_element_mapping(self, schema):
+        assert schema.relation_for_element("a") == "R_a"
+        with pytest.raises(SchemaError):
+            schema.relation_for_element("zzz")
+        assert set(schema.element_types()) == {"a", "b"}
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", NODE_COLUMNS), RelationSchema("R", NODE_COLUMNS)])
+
+    def test_undeclared_node_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", NODE_COLUMNS)], node_relations=["missing"])
+
+    def test_undeclared_element_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", NODE_COLUMNS)], element_relations={"a": "missing"})
+
+    def test_ddl_covers_all_relations(self, schema):
+        ddl = schema.ddl()
+        assert ddl.count("CREATE TABLE") == 3
+
+
+class TestDatabase:
+    def test_relations_start_empty(self, schema):
+        database = Database(schema)
+        assert len(database.relation("R_a")) == 0
+        assert database.total_rows() == 0
+
+    def test_set_relation_checks_columns(self, schema):
+        database = Database(schema)
+        database.set_relation("R_a", Relation(NODE_COLUMNS, {("_", 0, "x")}))
+        assert database.total_rows() == 1
+        with pytest.raises(SchemaError):
+            database.set_relation("R_a", Relation(("X",), {(1,)}))
+
+    def test_unknown_relation(self, schema):
+        database = Database(schema)
+        with pytest.raises(SchemaError):
+            database.relation("nope")
+        assert "R_a" in database
+        assert "nope" not in database
+
+    def test_identity_relation_built_from_node_relations(self, schema):
+        database = Database(schema)
+        database.set_relation("R_a", Relation(NODE_COLUMNS, {("_", 0, "_"), (0, 1, "v")}))
+        database.set_relation("R_b", Relation(NODE_COLUMNS, {(1, 2, "w")}))
+        identity = database.identity_relation()
+        assert identity.rows == {(0, 0, "_"), (1, 1, "v"), (2, 2, "w")}
+
+    def test_identity_ignores_non_node_relations(self, schema):
+        database = Database(schema)
+        database.set_relation("extra", Relation(("ID", "parentId"), {(9, 0)}))
+        assert database.identity_relation().rows == set()

@@ -1,0 +1,136 @@
+"""Unit tests for SQL text emission."""
+
+import pytest
+
+from repro.relational.algebra import (
+    AntiJoin,
+    Assignment,
+    Compose,
+    Condition,
+    Difference,
+    EdgeStep,
+    Fixpoint,
+    IdentityRelation,
+    Program,
+    Project,
+    RecursiveUnion,
+    Scan,
+    Select,
+    SemiJoin,
+    TagProject,
+    Union,
+)
+from repro.relational.sqlgen import SQLDialect, expression_to_sql, program_to_sql
+
+
+class TestExpressionRendering:
+    def test_scan(self):
+        assert expression_to_sql(Scan("R_course")) == "SELECT F, T, V FROM R_course"
+
+    def test_select_with_literal_escaping(self):
+        sql = expression_to_sql(Select(Scan("R"), (Condition("V", "=", "o'brien"),)))
+        assert "V = 'o''brien'" in sql
+
+    def test_select_inequality(self):
+        sql = expression_to_sql(Select(Scan("R"), (Condition("F", "!=", "_"),)))
+        assert "<> '_'" in sql
+
+    def test_compose_is_a_join_on_t_f(self):
+        sql = expression_to_sql(Compose(Scan("R_a"), Scan("R_b")))
+        assert "JOIN" in sql
+        assert ".T = " in sql and ".F" in sql
+
+    def test_semijoin_uses_in(self):
+        sql = expression_to_sql(SemiJoin(Scan("R_a"), Scan("R_b")))
+        assert " IN " in sql
+
+    def test_antijoin_uses_not_in(self):
+        sql = expression_to_sql(AntiJoin(Scan("R_a"), Scan("R_b")))
+        assert "NOT IN" in sql
+
+    def test_union_and_difference(self):
+        sql = expression_to_sql(Union((Scan("A"), Scan("B"))))
+        assert "UNION" in sql
+        sql = expression_to_sql(Difference(Scan("A"), Scan("B")))
+        assert "EXCEPT" in sql
+
+    def test_difference_in_oracle_uses_minus(self):
+        sql = expression_to_sql(Difference(Scan("A"), Scan("B")), SQLDialect.ORACLE)
+        assert "MINUS" in sql
+
+    def test_projection_distinct(self):
+        sql = expression_to_sql(Project(Scan("R"), ("T", "T", "V"), ("F", "T", "V")))
+        assert "SELECT DISTINCT" in sql
+        assert "AS F" in sql
+
+    def test_tag_project_adds_constant(self):
+        sql = expression_to_sql(TagProject(Scan("R"), "course"))
+        assert "'course' AS TAG" in sql
+
+    def test_identity_relation_rendering(self):
+        sql = expression_to_sql(IdentityRelation())
+        assert "ALL_NODES" in sql
+
+
+class TestRecursionRendering:
+    def test_fixpoint_generic_uses_with_recursive(self):
+        sql = expression_to_sql(Fixpoint(Scan("R")), SQLDialect.GENERIC)
+        assert sql.startswith("WITH RECURSIVE")
+        assert "UNION ALL" in sql
+
+    def test_fixpoint_db2_uses_plain_with(self):
+        sql = expression_to_sql(Fixpoint(Scan("R")), SQLDialect.DB2)
+        assert sql.startswith("WITH lfp")
+
+    def test_fixpoint_oracle_uses_connect_by(self):
+        sql = expression_to_sql(Fixpoint(Scan("R")), SQLDialect.ORACLE)
+        assert "CONNECT BY PRIOR" in sql
+        assert "CONNECT_BY_ROOT" in sql
+
+    def test_fixpoint_source_anchor_becomes_seed_filter(self):
+        sql = expression_to_sql(Fixpoint(Scan("R"), source_anchor=Scan("S")))
+        assert "WHERE F IN" in sql
+
+    def test_fixpoint_target_anchor_becomes_seed_filter(self):
+        sql = expression_to_sql(Fixpoint(Scan("R"), target_anchor=Scan("S")))
+        assert "WHERE T IN" in sql
+
+    def test_recursive_union_has_one_branch_per_edge(self):
+        recursive = RecursiveUnion(
+            TagProject(Scan("R_c"), "c"),
+            (
+                EdgeStep(Scan("R_c"), "c", "c"),
+                EdgeStep(Scan("R_s"), "c", "s"),
+                EdgeStep(Scan("R_c"), "s", "c"),
+            ),
+        )
+        sql = expression_to_sql(recursive)
+        assert sql.count("UNION ALL") == 3
+        assert "r.TAG = 'c'" in sql
+
+
+class TestProgramRendering:
+    def _program(self):
+        return Program(
+            [Assignment("T1", Compose(Scan("R_a"), Scan("R_b")))],
+            Select(Scan("T1"), (Condition("F", "=", "_"),)),
+        )
+
+    def test_temp_tables_created_per_assignment(self):
+        sql = program_to_sql(self._program())
+        assert "CREATE TEMPORARY TABLE T1" in sql
+        assert sql.strip().endswith(";")
+
+    def test_all_dialects_render(self):
+        for dialect in SQLDialect:
+            assert "T1" in program_to_sql(self._program(), dialect)
+
+    def test_translated_paper_query_renders(self):
+        from repro.core.pipeline import XPathToSQLTranslator
+        from repro.dtd.samples import dept_dtd
+
+        translator = XPathToSQLTranslator(dept_dtd())
+        sql = translator.to_sql("dept//project")
+        assert "CREATE TEMPORARY TABLE" in sql
+        assert "WITH RECURSIVE" in sql
+        assert "R_project" in sql

@@ -1,0 +1,104 @@
+"""Unit tests for the data mapping tau_d (document shredding)."""
+
+import pytest
+
+from repro.dtd import samples
+from repro.dtd.model import DTD, empty, star
+from repro.errors import ShreddingError
+from repro.shredding.inlining import MISSING_VALUE, ROOT_PARENT, shared_inlining
+from repro.shredding.shredder import shred_document, shred_inlined
+from repro.workloads.datasets import dept_sample_tree
+from repro.xmltree.tree import build_tree
+
+
+class TestSimpleShredding:
+    def test_every_node_becomes_one_tuple(self, dept_tree, dept_dtd, dept_shredded):
+        assert dept_shredded.database.total_rows() == dept_tree.size()
+
+    def test_root_tuple_uses_sentinel_parent(self, dept_shredded, dept_dtd):
+        root_relation = dept_shredded.database.relation("R_dept")
+        assert len(root_relation) == 1
+        row = next(iter(root_relation))
+        assert row[0] == ROOT_PARENT
+        assert row[1] == dept_shredded.tree.root.node_id
+
+    def test_edges_preserved(self, dept_tree, dept_shredded):
+        course_relation = dept_shredded.database.relation("R_course")
+        expected = {
+            (node.parent.node_id, node.node_id)
+            for node in dept_tree.nodes_with_label("course")
+        }
+        assert {(row[0], row[1]) for row in course_relation.rows} == expected
+
+    def test_text_values_stored(self, dept_tree, dept_shredded):
+        cno_relation = dept_shredded.database.relation("R_cno")
+        values = {row[2] for row in cno_relation.rows}
+        assert values == {node.value for node in dept_tree.nodes_with_label("cno")}
+
+    def test_missing_values_use_sentinel(self, dept_shredded):
+        dept_relation = dept_shredded.database.relation("R_dept")
+        assert next(iter(dept_relation))[2] == MISSING_VALUE
+
+    def test_node_resolution_round_trip(self, dept_tree, dept_shredded):
+        some = dept_tree.nodes_with_label("project")
+        resolved = dept_shredded.nodes_for_ids([node.node_id for node in some])
+        assert resolved == sorted(some, key=lambda n: n.node_id)
+
+    def test_undeclared_label_rejected(self):
+        dtd = DTD("r", {"r": star("a"), "a": empty()})
+        tree = build_tree(("r", [("weird", [])]))
+        with pytest.raises(ShreddingError):
+            shred_document(tree, dtd)
+
+    def test_table1_sample_database_shape(self):
+        # The Table 1 database: 1 dept, 5 courses, 2 students, 2 projects.
+        dtd = samples.simplified_dept_dtd()
+        tree = dept_sample_tree()
+        shredded = shred_document(tree, dtd)
+        assert len(shredded.database.relation("R_dept")) == 1
+        assert len(shredded.database.relation("R_course")) == 5
+        assert len(shredded.database.relation("R_student")) == 2
+        assert len(shredded.database.relation("R_project")) == 2
+
+
+class TestInlinedShredding:
+    def test_head_nodes_become_rows(self, dept_tree, dept_dtd):
+        partition = shared_inlining(dept_dtd)
+        database = shred_inlined(dept_tree, dept_dtd, partition)
+        heads = {relation.head for relation in partition.relations}
+        expected_rows = sum(
+            1 for node in dept_tree.nodes() if node.label in heads
+        )
+        assert database.total_rows() == expected_rows
+
+    def test_inlined_values_attached_to_head_row(self, dept_tree, dept_dtd):
+        partition = shared_inlining(dept_dtd)
+        database = shred_inlined(dept_tree, dept_dtd, partition)
+        course_relation = partition.relation_for("course")
+        stored = database.relation(course_relation.name)
+        columns = course_relation.columns()
+        cno_index = columns.index("cno")
+        courses = dept_tree.nodes_with_label("course")
+        expected_values = set()
+        for course in courses:
+            for child in course.children:
+                if child.label == "cno":
+                    expected_values.add(child.value)
+        assert {row[cno_index] for row in stored.rows} == expected_values
+
+    def test_parent_id_points_to_nearest_head(self, dept_tree, dept_dtd):
+        partition = shared_inlining(dept_dtd)
+        database = shred_inlined(dept_tree, dept_dtd, partition)
+        course_relation = partition.relation_for("course")
+        stored = database.relation(course_relation.name)
+        head_labels = {relation.head for relation in partition.relations}
+        by_id = {node.node_id: node for node in dept_tree.nodes()}
+        for row in stored.rows:
+            parent_id = row[1]
+            if parent_id == ROOT_PARENT:
+                continue
+            assert by_id[parent_id].label in head_labels
+
+    def test_default_partition_used_when_missing(self, dept_tree, dept_dtd):
+        database = shred_inlined(dept_tree, dept_dtd)
+        assert database.total_rows() > 0

@@ -1,0 +1,87 @@
+"""Tests for the workload definitions (paper queries and dataset builders)."""
+
+import pytest
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd import samples
+from repro.workloads.datasets import (
+    DEFAULT_SCALE,
+    DatasetSpec,
+    build_dataset,
+    dept_sample_tree,
+    scaled_elements,
+)
+from repro.workloads.queries import (
+    BIOML_CASES,
+    CROSS_QUERIES,
+    DEPT_QUERIES,
+    GEDML_QUERY,
+    SELECTIVE_QUERIES,
+)
+from repro.xmltree.validator import conforms
+from repro.xpath.parser import parse_xpath
+
+
+class TestQueryDefinitions:
+    def test_all_cross_queries_parse(self):
+        for name, query in CROSS_QUERIES.items():
+            parse_xpath(query)
+
+    def test_all_dept_queries_parse(self):
+        for query in DEPT_QUERIES.values():
+            parse_xpath(query)
+
+    def test_selective_queries_format_and_parse(self):
+        for template in SELECTIVE_QUERIES.values():
+            parse_xpath(template.format(value="b-0"))
+
+    def test_gedml_query_parses(self):
+        parse_xpath(GEDML_QUERY)
+
+    def test_bioml_cases_cover_table4(self):
+        names = [case.name for case in BIOML_CASES]
+        assert names == ["2a", "2b", "2c", "3a", "3b", "4a", "4b"]
+
+    def test_bioml_case_queries_target_reachable_types(self):
+        for case in BIOML_CASES:
+            dtd = case.dtd()
+            graph = DTDGraph(dtd)
+            target = case.query.split("//")[-1]
+            assert graph.reaches("gene", target), case.name
+
+    def test_bioml_case_cycle_counts_match_graphs(self):
+        for case in BIOML_CASES:
+            assert DTDGraph(case.dtd()).cycle_count() == case.cycles, case.name
+
+    def test_queries_start_with_dtd_root(self):
+        for name, query in CROSS_QUERIES.items():
+            assert query.startswith("a")
+        assert GEDML_QUERY.startswith("even")
+
+
+class TestDatasets:
+    def test_scaled_elements(self):
+        assert scaled_elements(120_000) == 120_000 // DEFAULT_SCALE
+        assert scaled_elements(160, scale=16) == 200  # floor of 200 elements
+
+    def test_dataset_spec_generates_conforming_document(self):
+        spec = DatasetSpec(samples.cross_dtd(), x_l=6, x_r=3, max_elements=500, seed=3)
+        tree = spec.generate()
+        assert conforms(tree, spec.dtd)
+        assert tree.size() <= 650
+
+    def test_dataset_spec_deterministic(self):
+        spec = DatasetSpec(samples.cross_dtd(), x_l=6, x_r=3, seed=3)
+        assert spec.generate().size() == spec.generate().size()
+
+    def test_build_dataset_returns_tree_and_shredded(self):
+        spec = DatasetSpec(samples.cross_dtd(), x_l=5, x_r=2, seed=3, max_elements=300)
+        tree, shredded = build_dataset(spec)
+        assert shredded.tree is tree
+        assert shredded.database.total_rows() == tree.size()
+
+    def test_dept_sample_tree_matches_table1(self):
+        tree = dept_sample_tree()
+        labels = tree.labels()
+        assert labels == {"dept": 1, "course": 5, "student": 2, "project": 2}
+        assert conforms(tree, samples.simplified_dept_dtd())

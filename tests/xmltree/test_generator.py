@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic DTD-driven XML generator."""
+
+import pytest
+
+from repro.dtd import samples
+from repro.dtd.model import DTD, choice, empty, plus, ref, seq, star
+from repro.xmltree.generator import GeneratorConfig, XMLGenerator, generate_document
+from repro.xmltree.validator import conforms
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        dtd = samples.cross_dtd()
+        first = generate_document(dtd, x_l=6, x_r=3, seed=9)
+        second = generate_document(dtd, x_l=6, x_r=3, seed=9)
+        assert first.size() == second.size()
+        assert [n.label for n in first.nodes()] == [n.label for n in second.nodes()]
+        assert [n.value for n in first.nodes()] == [n.value for n in second.nodes()]
+
+    def test_different_seed_changes_document(self):
+        dtd = samples.cross_dtd()
+        shapes = {
+            tuple(n.label for n in generate_document(dtd, x_l=8, x_r=4, seed=seed).nodes())
+            for seed in range(1, 6)
+        }
+        assert len(shapes) > 1
+
+    def test_generate_is_repeatable_on_same_instance(self):
+        generator = XMLGenerator(samples.cross_dtd(), GeneratorConfig(x_l=6, x_r=3, seed=4))
+        assert generator.generate().size() == generator.generate().size()
+
+
+class TestShapeParameters:
+    def test_x_l_bounds_height(self):
+        dtd = samples.cross_dtd()
+        shallow = generate_document(dtd, x_l=4, x_r=3, seed=5)
+        deep = generate_document(dtd, x_l=10, x_r=3, seed=5)
+        assert shallow.height() <= 4
+        assert deep.height() > shallow.height()
+
+    def test_x_r_bounds_fanout(self):
+        dtd = samples.cross_dtd()
+        narrow = generate_document(dtd, x_l=6, x_r=2, seed=6)
+        for node in narrow.nodes():
+            assert len(node.children) <= 2
+
+    def test_wider_x_r_gives_bigger_documents(self):
+        dtd = samples.cross_dtd()
+        narrow = generate_document(dtd, x_l=8, x_r=2, seed=7)
+        wide = generate_document(dtd, x_l=8, x_r=5, seed=7)
+        assert wide.size() > narrow.size()
+
+    def test_max_elements_trims(self):
+        dtd = samples.cross_dtd()
+        trimmed = generate_document(dtd, x_l=12, x_r=6, seed=8, max_elements=500)
+        # Required elements may push slightly past the budget, but the
+        # document must stay in the same ballpark.
+        assert trimmed.size() <= 650
+
+    def test_root_label_matches_dtd(self):
+        tree = generate_document(samples.gedml_dtd(), x_l=5, x_r=2, seed=1)
+        assert tree.root.label == "even"
+
+
+class TestConformanceAndValues:
+    @pytest.mark.parametrize(
+        "factory", [samples.dept_dtd, samples.cross_dtd, samples.bioml_dtd, samples.gedml_dtd]
+    )
+    def test_generated_documents_conform(self, factory):
+        dtd = factory()
+        tree = generate_document(dtd, x_l=6, x_r=3, seed=13)
+        assert conforms(tree, dtd)
+
+    def test_text_values_only_on_text_types(self):
+        dtd = samples.dept_dtd()
+        tree = generate_document(dtd, x_l=6, x_r=3, seed=2)
+        for node in tree.nodes():
+            if node.value is not None:
+                assert node.label in dtd.text_types
+
+    def test_distinct_values_controls_selectivity(self):
+        dtd = samples.cross_dtd()
+        tree = generate_document(dtd, x_l=8, x_r=4, seed=3, distinct_values=2)
+        values = {n.value for n in tree.nodes_with_label("b")}
+        assert values <= {"b-0", "b-1"}
+
+    def test_required_children_present_even_past_limit(self):
+        # 'student' requires sno, name, qualified even at the level limit.
+        dtd = samples.dept_dtd()
+        tree = generate_document(dtd, x_l=3, x_r=2, seed=4)
+        for student in tree.nodes_with_label("student"):
+            assert {c.label for c in student.children} >= {"sno", "name", "qualified"}
+
+
+class TestChoiceAndPlusHandling:
+    def test_choice_picks_cheapest_at_limit(self):
+        dtd = DTD(
+            "r",
+            {
+                "r": ref("mid"),
+                "mid": choice(seq("heavy1", "heavy2"), star("light")),
+                "heavy1": empty(),
+                "heavy2": empty(),
+                "light": empty(),
+            },
+        )
+        tree = generate_document(dtd, x_l=1, x_r=3, seed=1)
+        # At the limit the generator must prefer the nullable branch.
+        assert tree.labels().get("heavy1", 0) == 0
+
+    def test_plus_generates_at_least_one(self):
+        dtd = DTD("r", {"r": plus("a"), "a": empty()})
+        tree = generate_document(dtd, x_l=5, x_r=3, seed=2)
+        assert tree.labels()["a"] >= 1
+
+    def test_hard_depth_limit_guarantees_termination(self):
+        # A DTD whose only cycle is through *required* content would never
+        # terminate without the hard depth limit.
+        dtd = DTD("r", {"r": ref("a"), "a": ref("r")})
+        config = GeneratorConfig(x_l=4, x_r=2, seed=0, hard_depth_limit=20)
+        tree = XMLGenerator(dtd, config).generate()
+        assert tree.height() <= 20

@@ -1,0 +1,101 @@
+"""Unit tests for the XML tree structure and builder."""
+
+import pytest
+
+from repro.xmltree.tree import XMLNode, XMLTree, build_tree
+
+
+@pytest.fixture()
+def small_tree():
+    return build_tree(
+        (
+            "dept",
+            [
+                ("course", [("cno", "cs66"), ("title", "db")]),
+                ("course", [("cno", "cs42")]),
+            ],
+        )
+    )
+
+
+class TestConstruction:
+    def test_create_single_root(self):
+        tree = XMLTree.create("dept")
+        assert tree.root.label == "dept"
+        assert tree.size() == 1
+
+    def test_add_child_assigns_fresh_ids(self):
+        tree = XMLTree.create("dept")
+        first = tree.add_child(tree.root, "course")
+        second = tree.add_child(tree.root, "course")
+        assert first.node_id != second.node_id
+        assert tree.size() == 3
+        assert tree.node(first.node_id) is first
+
+    def test_duplicate_ids_rejected(self):
+        root = XMLNode(0, "r")
+        child = XMLNode(0, "a", parent=root)
+        root.children.append(child)
+        with pytest.raises(ValueError):
+            XMLTree(root)
+
+    def test_build_tree_shapes(self, small_tree):
+        assert small_tree.size() == 6
+        assert [c.label for c in small_tree.root.children] == ["course", "course"]
+        cnos = small_tree.nodes_with_label("cno")
+        assert {n.value for n in cnos} == {"cs66", "cs42"}
+
+    def test_build_tree_leaf_string(self):
+        tree = build_tree("solo")
+        assert tree.size() == 1
+        assert tree.root.value is None
+
+    def test_build_tree_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            build_tree(42)
+        with pytest.raises(ValueError):
+            build_tree(("a", 42))
+
+
+class TestNavigation:
+    def test_document_order_ids(self, small_tree):
+        ids = [node.node_id for node in small_tree.nodes()]
+        assert ids == sorted(ids)
+
+    def test_descendants_or_self(self, small_tree):
+        course = small_tree.root.children[0]
+        labels = sorted(n.label for n in course.descendants_or_self())
+        assert labels == ["cno", "course", "title"]
+
+    def test_path_from_root_and_depth(self, small_tree):
+        cno = small_tree.nodes_with_label("cno")[0]
+        assert cno.path_from_root() == ["dept", "course", "cno"]
+        assert cno.depth() == 3
+        assert small_tree.root.depth() == 1
+
+    def test_labels_histogram(self, small_tree):
+        assert small_tree.labels() == {"dept": 1, "course": 2, "cno": 2, "title": 1}
+
+    def test_height(self, small_tree):
+        assert small_tree.height() == 3
+
+    def test_node_identity_semantics(self, small_tree):
+        courses = small_tree.nodes_with_label("course")
+        assert courses[0] != courses[1]
+        assert courses[0] == courses[0]
+        assert len({courses[0], courses[1]}) == 2
+
+
+class TestSerialization:
+    def test_to_xml_contains_tags_and_values(self, small_tree):
+        xml = small_tree.to_xml()
+        assert "<dept>" in xml
+        assert "<cno>cs66</cno>" in xml
+        assert xml.count("<course>") == 2
+
+    def test_to_xml_self_closing_leaf(self):
+        tree = build_tree(("a", ["b"]))
+        assert "<b/>" in tree.to_xml()
+
+    def test_repr_mentions_size(self, small_tree):
+        assert "size=6" in repr(small_tree)

@@ -1,0 +1,104 @@
+"""Unit tests for the DTD conformance validator."""
+
+import pytest
+
+from repro.dtd.model import DTD, choice, empty, opt, plus, ref, seq, star
+from repro.dtd import samples
+from repro.xmltree.tree import build_tree
+from repro.xmltree.validator import conforms, matches_model, validate
+
+
+class TestContentModelMatching:
+    def test_empty_model_matches_no_children(self):
+        assert matches_model(empty(), [])
+        assert not matches_model(empty(), ["a"])
+
+    def test_single_ref(self):
+        assert matches_model(ref("a"), ["a"])
+        assert not matches_model(ref("a"), [])
+        assert not matches_model(ref("a"), ["b"])
+        assert not matches_model(ref("a"), ["a", "a"])
+
+    def test_sequence(self):
+        model = seq("a", "b", "c")
+        assert matches_model(model, ["a", "b", "c"])
+        assert not matches_model(model, ["a", "c", "b"])
+        assert not matches_model(model, ["a", "b"])
+
+    def test_choice(self):
+        model = choice("a", "b")
+        assert matches_model(model, ["a"])
+        assert matches_model(model, ["b"])
+        assert not matches_model(model, ["a", "b"])
+
+    def test_star(self):
+        model = star("a")
+        assert matches_model(model, [])
+        assert matches_model(model, ["a"] * 5)
+        assert not matches_model(model, ["a", "b"])
+
+    def test_plus(self):
+        model = plus("a")
+        assert not matches_model(model, [])
+        assert matches_model(model, ["a", "a"])
+
+    def test_optional(self):
+        model = seq(opt("a"), "b")
+        assert matches_model(model, ["b"])
+        assert matches_model(model, ["a", "b"])
+        assert not matches_model(model, ["a", "a", "b"])
+
+    def test_star_of_sequence(self):
+        model = star(seq("a", "b"))
+        assert matches_model(model, [])
+        assert matches_model(model, ["a", "b", "a", "b"])
+        assert not matches_model(model, ["a", "b", "a"])
+
+    def test_nested_choice_star(self):
+        model = star(choice("a", seq("b", "c")))
+        assert matches_model(model, ["a", "b", "c", "a"])
+        assert not matches_model(model, ["b"])
+
+    def test_course_production_from_dept(self):
+        dtd = samples.dept_dtd()
+        model = dtd.production("course")
+        assert matches_model(model, ["cno", "title", "prereq", "takenBy"])
+        assert matches_model(model, ["cno", "title", "prereq", "takenBy", "project", "project"])
+        assert not matches_model(model, ["cno", "title", "takenBy", "prereq"])
+
+
+class TestTreeValidation:
+    def _dtd(self):
+        return DTD(
+            "r",
+            {"r": star("a"), "a": seq("b", opt("c")), "b": empty(), "c": empty()},
+            text_types=["b"],
+        )
+
+    def test_conforming_tree(self):
+        tree = build_tree(("r", [("a", [("b", "x")]), ("a", [("b", "y"), "c"])]))
+        assert conforms(tree, self._dtd())
+        assert validate(tree, self._dtd()) == []
+
+    def test_wrong_root_reported(self):
+        tree = build_tree(("a", [("b", "x")]))
+        problems = validate(tree, self._dtd())
+        assert any("root label" in p for p in problems)
+
+    def test_undeclared_type_reported(self):
+        tree = build_tree(("r", [("weird", [])]))
+        problems = validate(tree, self._dtd())
+        assert any("undeclared" in p for p in problems)
+
+    def test_content_model_violation_reported(self):
+        tree = build_tree(("r", [("a", ["c"])]))  # missing required b
+        problems = validate(tree, self._dtd())
+        assert any("content model" in p for p in problems)
+
+    def test_text_on_non_text_type_reported(self):
+        tree = build_tree(("r", [("a", "oops", [("b", "x")])]))
+        problems = validate(tree, self._dtd())
+        assert any("text value" in p for p in problems)
+
+    def test_generated_dept_document_valid(self, dept_tree, dept_dtd):
+        assert conforms(dept_tree, dept_dtd)

@@ -1,0 +1,80 @@
+"""Unit tests for XPath AST utilities."""
+
+from repro.xpath.ast import (
+    Descendant,
+    Label,
+    PathQual,
+    Qualified,
+    Slash,
+    TextEquals,
+    Union,
+    iter_subpaths,
+    path_size,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestIterSubpaths:
+    def test_postorder_for_slash(self):
+        query = parse_xpath("a/b")
+        nodes = list(iter_subpaths(query))
+        assert [str(n) for n in nodes] == ["a", "b", "a/b"]
+
+    def test_includes_qualifier_paths(self):
+        query = parse_xpath("a[b/c]")
+        rendered = [str(n) for n in iter_subpaths(query)]
+        assert "b/c" in rendered
+        assert rendered[-1] == "a[b/c]"
+
+    def test_subpaths_precede_parents(self):
+        query = parse_xpath("a/b//c[d and not e]")
+        nodes = list(iter_subpaths(query))
+        positions = {id(node): index for index, node in enumerate(nodes)}
+        # Every child sub-path must appear before the whole query.
+        whole = positions[id(query)]
+        assert whole == len(nodes) - 1
+
+    def test_union_children_visited(self):
+        query = parse_xpath("a | b")
+        rendered = [str(n) for n in iter_subpaths(query)]
+        assert rendered[:2] == ["a", "b"]
+
+    def test_text_qualifier_contributes_no_paths(self):
+        query = parse_xpath('a[text() = "x"]')
+        rendered = [str(n) for n in iter_subpaths(query)]
+        assert rendered == ["a", 'a[text() = "x"]']
+
+
+class TestPathSize:
+    def test_single_label(self):
+        assert path_size(Label("a")) == 1
+
+    def test_slash_counts_children(self):
+        assert path_size(parse_xpath("a/b/c")) == 5
+
+    def test_qualifier_counts(self):
+        # a[b]: Qualified + Label(a) + PathQual + Label(b)
+        assert path_size(parse_xpath("a[b]")) == 4
+        # a[text()="x"]: Qualified + Label(a) + TextEquals
+        assert path_size(parse_xpath('a[text() = "x"]')) == 3
+
+    def test_larger_query(self):
+        small = path_size(parse_xpath("a//b"))
+        large = path_size(parse_xpath("a//b[c and not d/e]"))
+        assert large > small
+
+
+class TestStringForms:
+    def test_slash_descendant_compact_form(self):
+        assert str(parse_xpath("a//b")) == "a//b"
+
+    def test_union_parenthesised(self):
+        assert str(Union(Label("a"), Label("b"))) == "(a | b)"
+
+    def test_qualified_with_text(self):
+        rendered = str(Qualified(Label("a"), TextEquals("x")))
+        assert rendered == 'a[text() = "x"]'
+
+    def test_equality_is_structural(self):
+        assert parse_xpath("a/b[c]") == parse_xpath("a/b[c]")
+        assert parse_xpath("a/b[c]") != parse_xpath("a/b[d]")

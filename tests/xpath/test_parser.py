@@ -1,0 +1,171 @@
+"""Unit tests for the XPath parser."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    And,
+    Descendant,
+    EmptyPath,
+    EmptySet,
+    Label,
+    Not,
+    Or,
+    PathQual,
+    Qualified,
+    Slash,
+    TextEquals,
+    Union,
+    Wildcard,
+)
+from repro.xpath.parser import parse_xpath, tokenize
+
+
+class TestBasicPaths:
+    def test_single_label(self):
+        assert parse_xpath("dept") == Label("dept")
+
+    def test_child_step(self):
+        assert parse_xpath("dept/course") == Slash(Label("dept"), Label("course"))
+
+    def test_descendant_step(self):
+        assert parse_xpath("dept//project") == Slash(
+            Label("dept"), Descendant(Label("project"))
+        )
+
+    def test_leading_descendant(self):
+        assert parse_xpath("//project") == Descendant(Label("project"))
+
+    def test_wildcard(self):
+        assert parse_xpath("dept/*") == Slash(Label("dept"), Wildcard())
+
+    def test_empty_path_dot(self):
+        assert parse_xpath(".") == EmptyPath()
+        assert parse_xpath("") == EmptyPath()
+
+    def test_emptyset_keyword(self):
+        assert parse_xpath("EMPTYSET") == EmptySet()
+
+    def test_union(self):
+        parsed = parse_xpath("a/b | a/c")
+        assert isinstance(parsed, Union)
+        assert parsed.left == Slash(Label("a"), Label("b"))
+
+    def test_union_unicode(self):
+        assert parse_xpath("a ∪ b") == Union(Label("a"), Label("b"))
+
+    def test_parenthesised_union_in_path(self):
+        parsed = parse_xpath("a/(b | c)/d")
+        assert isinstance(parsed, Slash)
+        assert isinstance(parsed.left.right, Union)
+
+    def test_left_associativity(self):
+        parsed = parse_xpath("a/b/c")
+        assert parsed == Slash(Slash(Label("a"), Label("b")), Label("c"))
+
+
+class TestQualifiers:
+    def test_path_qualifier(self):
+        parsed = parse_xpath("course[project]")
+        assert parsed == Qualified(Label("course"), PathQual(Label("project")))
+
+    def test_text_equals(self):
+        parsed = parse_xpath('cno[text() = "cs66"]')
+        assert parsed == Qualified(Label("cno"), TextEquals("cs66"))
+
+    def test_text_equals_single_quotes(self):
+        parsed = parse_xpath("cno[text() = 'cs66']")
+        assert parsed == Qualified(Label("cno"), TextEquals("cs66"))
+
+    def test_value_comparison_shorthand(self):
+        parsed = parse_xpath('course[cno = "cs66"]')
+        expected = Qualified(
+            Label("course"), PathQual(Qualified(Label("cno"), TextEquals("cs66")))
+        )
+        assert parsed == expected
+
+    def test_negation_ascii_and_unicode(self):
+        for text in ["course[not project]", "course[¬project]", "course[!project]"]:
+            parsed = parse_xpath(text)
+            assert parsed == Qualified(Label("course"), Not(PathQual(Label("project"))))
+
+    def test_conjunction_and_disjunction(self):
+        parsed = parse_xpath("a[b and c or d]")
+        qualifier = parsed.qualifier
+        assert isinstance(qualifier, Or)
+        assert isinstance(qualifier.left, And)
+
+    def test_parenthesised_boolean_qualifier(self):
+        parsed = parse_xpath("a[not (b or c)]")
+        assert isinstance(parsed.qualifier, Not)
+        assert isinstance(parsed.qualifier.inner, Or)
+
+    def test_nested_qualifiers(self):
+        parsed = parse_xpath("a[b[c]]")
+        inner = parsed.qualifier.path
+        assert inner == Qualified(Label("b"), PathQual(Label("c")))
+
+    def test_descendant_inside_qualifier(self):
+        parsed = parse_xpath("course[//prereq]")
+        assert parsed.qualifier == PathQual(Descendant(Label("prereq")))
+
+    def test_multiple_qualifiers_stack(self):
+        parsed = parse_xpath("a[b][c]")
+        assert isinstance(parsed, Qualified)
+        assert isinstance(parsed.path, Qualified)
+
+    def test_paper_query_q2_parses(self):
+        query = (
+            'dept/course[//prereq/course[cno = "cs66"] ∧ ¬//project ∧ '
+            '¬takenBy/student/qualified//course[cno = "cs66"]]'
+        )
+        parsed = parse_xpath(query)
+        assert isinstance(parsed, Slash)
+        assert isinstance(parsed.right, Qualified)
+
+    def test_qd_query_parses(self):
+        parsed = parse_xpath("a[not //c or (b and //d)]")
+        assert isinstance(parsed.qualifier, Or)
+
+
+class TestErrorsAndTokens:
+    def test_unbalanced_bracket(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("a[b")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("a/#b")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("a b")
+
+    def test_missing_operand(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("a/")
+
+    def test_text_requires_string(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("a[text() = b]")
+
+    def test_tokenize_kinds(self):
+        kinds = [t.kind for t in tokenize('a//b[text() = "x"]')]
+        assert kinds == ["NAME", "DSLASH", "NAME", "LBRACKET", "TEXTFN", "EQ", "STRING", "RBRACKET"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "dept//project",
+            "a/b//c/d",
+            "a[not //c or (b and //d)]",
+            'dept/course[cno = "cs66"]',
+            "a/(b | c)/d",
+            "dept/*//cno",
+        ],
+    )
+    def test_str_reparses_to_same_ast(self, text):
+        parsed = parse_xpath(text)
+        assert parse_xpath(str(parsed)) == parsed
