@@ -21,6 +21,7 @@ Quickstart
 >>> projects = translator.answer("dept//project", shredded)
 """
 
+from repro.backends import Backend, BackendResult, MemoryBackend, SqliteBackend, create_backend
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.pipeline import TranslationResult, XPathToSQLTranslator, answer_xpath
 from repro.core.sqlgen_r import SQLGenR
@@ -49,5 +50,10 @@ __all__ = [
     "SQLDialect",
     "GAVView",
     "answer_xpath",
+    "Backend",
+    "BackendResult",
+    "MemoryBackend",
+    "SqliteBackend",
+    "create_backend",
     "__version__",
 ]

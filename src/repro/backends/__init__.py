@@ -1,0 +1,56 @@
+"""Pluggable execution backends for translated programs.
+
+Two implementations ship today:
+
+* :class:`~repro.backends.memory.MemoryBackend` — the pure-Python
+  hash-join/LFP engine (an adapter over ``relational.executor``);
+* :class:`~repro.backends.sqlite.SqliteBackend` — real execution on SQLite
+  via the ``SQLITE`` SQL dialect (``WITH RECURSIVE`` for the LFP operator).
+
+Use :func:`create_backend` to instantiate one by name; the registry is the
+single point future backends (DuckDB, Postgres, sharded execution) hook
+into.  :mod:`repro.backends.differential` runs every workload query on all
+backends and asserts identical answer sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.backends.base import Backend, BackendResult, normalize_rows
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend, sqlite_schema_ddl
+from repro.relational.database import Database
+
+__all__ = [
+    "Backend",
+    "BackendResult",
+    "MemoryBackend",
+    "SqliteBackend",
+    "BACKENDS",
+    "backend_names",
+    "create_backend",
+    "normalize_rows",
+    "sqlite_schema_ddl",
+]
+
+# Registry of available backends, keyed by the name used in CLI flags.
+BACKENDS: Dict[str, Type[Backend]] = {
+    MemoryBackend.name: MemoryBackend,
+    SqliteBackend.name: SqliteBackend,
+}
+
+
+def backend_names() -> List[str]:
+    """Names of all registered backends (sorted, for CLI choices)."""
+    return sorted(BACKENDS)
+
+
+def create_backend(name: str, database: Database, **options: object) -> Backend:
+    """Instantiate the backend registered under ``name`` over ``database``."""
+    try:
+        backend_class = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise ValueError(f"unknown backend {name!r} (known: {known})") from None
+    return backend_class(database, **options)

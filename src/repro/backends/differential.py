@@ -1,0 +1,287 @@
+"""Differential testing: every workload query, every backend, same answers.
+
+The central invariant of the paper is ``Q(T) = Q'(tau_d(T))``; the seed
+repository checks it between the direct XPath evaluator and the in-memory
+relational engine.  This module extends the check across *execution
+backends*: every query from :mod:`repro.workloads.queries` is translated
+once and executed on every registered backend over generated documents
+(recursive and non-recursive DTDs alike), and the answer sets must be
+identical tuple-for-tuple.
+
+Usage::
+
+    from repro.backends.differential import default_specs, run_differential
+    outcomes = run_differential(default_specs(max_elements=400))
+    assert all(o.matched for o in outcomes)
+
+``python -m repro.backends.differential`` runs the default sweep and prints
+one line per (document, query, backend pair).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.backends import backend_names, create_backend
+from repro.backends.base import BackendResult
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.optimize import push_selection_options
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd import samples
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.workloads.queries import (
+    BIOML_CASES,
+    CROSS_QUERIES,
+    DEPT_QUERIES,
+    GEDML_QUERY,
+    SCALABILITY_QUERY,
+    SELECTIVE_QUERIES,
+)
+from repro.xmltree.generator import generate_document
+
+__all__ = [
+    "DifferentialSpec",
+    "DifferentialOutcome",
+    "default_specs",
+    "non_recursive_dtd",
+    "run_differential",
+    "assert_backends_agree",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class DifferentialSpec:
+    """One differential scenario: a DTD, a document shape and its queries."""
+
+    label: str
+    dtd: DTD
+    queries: Mapping[str, str]
+    strategy: DescendantStrategy = DescendantStrategy.CYCLEEX
+    options: Optional[TranslationOptions] = None
+    x_l: int = 8
+    x_r: int = 3
+    seed: int = 5
+    max_elements: int = 400
+
+
+@dataclass(frozen=True)
+class DifferentialOutcome:
+    """The comparison of one query between the reference backend and another."""
+
+    spec: str
+    query_name: str
+    query: str
+    reference_backend: str
+    candidate_backend: str
+    reference_rows: int
+    candidate_rows: int
+    matched: bool
+    missing_node_ids: Tuple[str, ...] = ()
+    extra_node_ids: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "OK" if self.matched else "MISMATCH"
+        line = (
+            f"{status:8s} {self.spec} {self.query_name} "
+            f"[{self.reference_backend} vs {self.candidate_backend}]: "
+            f"{self.reference_rows} vs {self.candidate_rows} rows"
+        )
+        if not self.matched:
+            line += (
+                f" (missing={list(self.missing_node_ids)[:5]}"
+                f" extra={list(self.extra_node_ids)[:5]})"
+            )
+        return line
+
+
+def non_recursive_dtd() -> DTD:
+    """A small non-recursive DTD (the acceptance suite needs one)."""
+    return parse_dtd(
+        "root library\n"
+        "library -> shelf*\n"
+        "shelf -> book*\n"
+        "book -> title, author*\n"
+        "title -> EMPTY #text\n"
+        "author -> EMPTY #text\n",
+        name="library",
+    )
+
+
+NON_RECURSIVE_QUERIES: Dict[str, str] = {
+    "NR1": "library//title",
+    "NR2": "library/shelf/book/author",
+    "NR3": "library//book[author]/title",
+}
+
+
+def default_specs(max_elements: int = 400) -> List[DifferentialSpec]:
+    """The default sweep: every workload query plus the non-recursive DTD.
+
+    Covers all of :mod:`repro.workloads.queries`: Q1/Q2 over dept, Qa–Qd and
+    the scalability query over cross, Qe/Qf (with selections pushed into
+    the LFP, exercising anchored fixpoints), the seven BIOML cases, the
+    GedML query — each under CycleEX — plus Qa–Qd again under the SQLGen-R
+    recursive-union strategy (exercising the SQL'99 ``WITH RECURSIVE``
+    translation) and a non-recursive document.
+    """
+    specs = [
+        DifferentialSpec(
+            "dept", samples.dept_dtd(), dict(DEPT_QUERIES), max_elements=max_elements
+        ),
+        DifferentialSpec(
+            "cross",
+            samples.cross_dtd(),
+            {**CROSS_QUERIES, "Qs": SCALABILITY_QUERY},
+            max_elements=max_elements,
+        ),
+        DifferentialSpec(
+            "cross-R",
+            samples.cross_dtd(),
+            dict(CROSS_QUERIES),
+            strategy=DescendantStrategy.RECURSIVE_UNION,
+            max_elements=max_elements,
+        ),
+        DifferentialSpec(
+            "cross-push",
+            samples.cross_dtd(),
+            {
+                # Qe selects on b's text, Qf on d's; the generator names
+                # values "<label>-<k>" so "-0" always exists.
+                name: template.format(value=f"{label}-0")
+                for (name, template), label in zip(
+                    sorted(SELECTIVE_QUERIES.items()), ("b", "d")
+                )
+            },
+            options=push_selection_options(),
+            max_elements=max_elements,
+        ),
+        DifferentialSpec(
+            "gedml",
+            samples.gedml_dtd(),
+            {"Qg": GEDML_QUERY},
+            max_elements=max_elements,
+        ),
+        DifferentialSpec(
+            "library",
+            non_recursive_dtd(),
+            dict(NON_RECURSIVE_QUERIES),
+            max_elements=max_elements,
+        ),
+    ]
+    for case in BIOML_CASES:
+        specs.append(
+            DifferentialSpec(
+                f"bioml-{case.name}",
+                case.dtd(),
+                {case.name: case.query},
+                max_elements=max_elements,
+            )
+        )
+    return specs
+
+
+def run_differential(
+    specs: Optional[Sequence[DifferentialSpec]] = None,
+    backends: Optional[Sequence[str]] = None,
+) -> List[DifferentialOutcome]:
+    """Run every spec's queries on every backend; compare against the first.
+
+    The first backend in ``backends`` (default: all registered, i.e.
+    ``memory`` first) is the reference; each other backend's normalized
+    answer set is compared tuple-for-tuple against it.
+    """
+    specs = list(default_specs() if specs is None else specs)
+    names = list(backends or backend_names())
+    if len(names) < 2:
+        raise ValueError("differential testing needs at least two backends")
+    reference_name, candidate_names = names[0], names[1:]
+
+    outcomes: List[DifferentialOutcome] = []
+    for spec in specs:
+        tree = generate_document(
+            spec.dtd,
+            x_l=spec.x_l,
+            x_r=spec.x_r,
+            seed=spec.seed,
+            max_elements=spec.max_elements,
+        )
+        translator = XPathToSQLTranslator(
+            spec.dtd, strategy=spec.strategy, options=spec.options
+        )
+        shredded = translator.shred(tree)
+        reference = create_backend(reference_name, shredded.database)
+        candidates = [
+            create_backend(name, shredded.database) for name in candidate_names
+        ]
+        try:
+            for query_name, query in spec.queries.items():
+                program = translator.translate(query).program
+                expected = reference.execute(program)
+                for candidate in candidates:
+                    actual = candidate.execute(program)
+                    outcomes.append(_compare(spec, query_name, query, expected, actual))
+        finally:
+            reference.close()
+            for candidate in candidates:
+                candidate.close()
+    return outcomes
+
+
+def _compare(
+    spec: DifferentialSpec,
+    query_name: str,
+    query: str,
+    expected: BackendResult,
+    actual: BackendResult,
+) -> DifferentialOutcome:
+    matched = expected.rows == actual.rows
+    missing: Tuple[str, ...] = ()
+    extra: Tuple[str, ...] = ()
+    if not matched:
+        expected_ids, actual_ids = expected.node_ids(), actual.node_ids()
+        missing = tuple(sorted(expected_ids - actual_ids))
+        extra = tuple(sorted(actual_ids - expected_ids))
+    return DifferentialOutcome(
+        spec=spec.label,
+        query_name=query_name,
+        query=query,
+        reference_backend=expected.backend,
+        candidate_backend=actual.backend,
+        reference_rows=expected.row_count,
+        candidate_rows=actual.row_count,
+        matched=matched,
+        missing_node_ids=missing,
+        extra_node_ids=extra,
+    )
+
+
+def assert_backends_agree(outcomes: Sequence[DifferentialOutcome]) -> None:
+    """Raise :class:`AssertionError` describing every mismatched outcome."""
+    mismatches = [outcome for outcome in outcomes if not outcome.matched]
+    if mismatches:
+        lines = "\n".join(outcome.describe() for outcome in mismatches)
+        raise AssertionError(
+            f"{len(mismatches)}/{len(outcomes)} differential case(s) disagree:\n{lines}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the default sweep and print one line per comparison."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    outcomes = run_differential(default_specs(max_elements=200 if quick else 400))
+    for outcome in outcomes:
+        print(outcome.describe())
+    mismatched = sum(1 for outcome in outcomes if not outcome.matched)
+    print(f"{len(outcomes) - mismatched}/{len(outcomes)} comparisons agree")
+    return 1 if mismatched else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

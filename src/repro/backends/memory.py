@@ -1,0 +1,43 @@
+"""The in-memory backend: an adapter over the hash-join/LFP executor."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.backends.base import Backend, BackendResult, normalize_rows
+from repro.relational.algebra import Program
+from repro.relational.database import Database
+from repro.relational.executor import Executor
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(Backend):
+    """Execute programs on the pure-Python engine of ``relational.executor``.
+
+    Parameters
+    ----------
+    database:
+        The shredded database to execute over.
+    lazy:
+        Evaluation strategy: lazy/top-down (default, the paper's strategy)
+        or eager assignment-by-assignment.
+    """
+
+    name = "memory"
+
+    def __init__(self, database: Database, lazy: bool = True) -> None:
+        super().__init__(database)
+        self._lazy = lazy
+
+    def execute(self, program: Program) -> BackendResult:
+        executor = Executor(self._database, lazy=self._lazy)
+        relation = executor.run(program)
+        stats: Dict[str, float] = executor.stats.as_dict()
+        stats["rows"] = len(relation)
+        return BackendResult(
+            backend=self.name,
+            columns=tuple(relation.columns),
+            rows=normalize_rows(relation.rows),
+            stats=stats,
+        )

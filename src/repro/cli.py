@@ -13,10 +13,16 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
 ``answer``
     Generate (or load nothing — generation is always synthetic here), shred
     and answer a query, printing the matching node paths; handy for quickly
-    checking what a translated query returns.
+    checking what a translated query returns.  ``--backend sqlite`` runs
+    the translated SQL for real on SQLite instead of the in-memory engine.
 
 ``experiment``
-    Run one of the paper's experiments (exp1..exp5) with ``--quick`` sweeps.
+    Run one of the paper's experiments (exp1..exp5) with ``--quick`` sweeps
+    and an optional ``--backend`` axis.
+
+``diff``
+    Run the differential suite: every workload query on every backend,
+    asserting identical answer sets.
 
 Examples
 --------
@@ -25,8 +31,12 @@ Examples
     python -m repro describe dept
     python -m repro translate dept "dept//project" --dialect db2
     python -m repro translate cross "a/b//c/d" --strategy recursive-union
+    python -m repro translate cross "a//d" --dialect sqlite
     python -m repro answer cross "a//d" --elements 2000 --seed 7
+    python -m repro answer cross "a//d" --backend sqlite
     python -m repro experiment exp5
+    python -m repro experiment exp3 --quick --backend sqlite
+    python -m repro diff --quick
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.backends import backend_names, create_backend
 from repro.core.optimize import push_selection_options, standard_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
@@ -56,6 +67,7 @@ _DIALECTS = {
     "generic": SQLDialect.GENERIC,
     "db2": SQLDialect.DB2,
     "oracle": SQLDialect.ORACLE,
+    "sqlite": SQLDialect.SQLITE,
 }
 
 
@@ -117,10 +129,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=sorted(_STRATEGIES), default="cycleex",
         help="descendant-axis expansion (default: cycleex)",
     )
+    answer.add_argument(
+        "--backend", choices=backend_names(), default="memory",
+        help="execution backend (default: memory)",
+    )
 
     experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=["exp1", "exp2", "exp3", "exp4", "exp5"])
     experiment.add_argument("--quick", action="store_true", help="reduced sweep")
+    experiment.add_argument(
+        "--backend", choices=backend_names(), default="memory",
+        help="execution backend for exp1-exp4 (default: memory)",
+    )
+
+    diff = commands.add_parser(
+        "diff", help="differentially validate all backends on the workload queries"
+    )
+    diff.add_argument("--quick", action="store_true", help="smaller documents")
 
     return parser
 
@@ -165,8 +190,17 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     )
     translator = XPathToSQLTranslator(dtd, strategy=_STRATEGIES[args.strategy])
     shredded = translator.shred(document)
-    matches = translator.answer(args.query, shredded)
-    print(f"document: {document.size()} elements; matches: {len(matches)}")
+    program = translator.translate(args.query).program
+    backend = create_backend(args.backend, shredded.database)
+    try:
+        executed = backend.execute(program)
+    finally:
+        backend.close()
+    matches = shredded.nodes_for_ids(executed.node_ids())
+    print(
+        f"document: {document.size()} elements; matches: {len(matches)} "
+        f"(backend: {executed.backend}, {executed.stats['elapsed_seconds']:.3f}s)"
+    )
     for node in matches[: args.limit]:
         path = "/".join(node.path_from_root())
         value = f" = {node.value!r}" if node.value is not None else ""
@@ -182,7 +216,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     modules = {"exp1": exp1, "exp2": exp2, "exp3": exp3, "exp4": exp4, "exp5": exp5}
     module = modules[args.name]
     argv: List[str] = ["--quick"] if args.quick else []
+    if args.backend != "memory":
+        if args.name == "exp5":
+            # Exp-5 reports static operator counts; nothing executes.
+            print("note: exp5 is translation-only, --backend has no effect")
+        else:
+            argv.append(f"--backend={args.backend}")
     return module.main(argv)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.backends import differential
+
+    return differential.main(["--quick"] if args.quick else [])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -194,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "translate": _cmd_translate,
         "answer": _cmd_answer,
         "experiment": _cmd_experiment,
+        "diff": _cmd_diff,
     }
     return handlers[args.command](args)
 

@@ -18,6 +18,7 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.backends import create_backend
 from repro.dtd.samples import cross_dtd
 from repro.experiments.harness import (
     Approach,
@@ -25,6 +26,7 @@ from repro.experiments.harness import (
     default_approaches,
     format_table,
     measure_query,
+    parse_backend_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -44,23 +46,29 @@ def _measure_for_spec(
     queries: Dict[str, str],
     approaches: Sequence[Approach],
     dataset_label: str,
+    backend: str = "memory",
 ) -> List[MeasuredQuery]:
     tree = spec.generate()
     shredded = shred_document(tree, spec.dtd)
     translators = {a.name: a.translator(spec.dtd) for a in approaches}
     rows: List[MeasuredQuery] = []
-    for query_name, query in queries.items():
-        for approach in approaches:
-            measured = measure_query(
-                approach,
-                spec.dtd,
-                shredded,
-                query,
-                dataset_label=dataset_label,
-                translator=translators[approach.name],
-            )
-            measured.query = query_name
-            rows.append(measured)
+    engine = create_backend(backend, shredded.database)
+    try:
+        for query_name, query in queries.items():
+            for approach in approaches:
+                measured = measure_query(
+                    approach,
+                    spec.dtd,
+                    shredded,
+                    query,
+                    dataset_label=dataset_label,
+                    translator=translators[approach.name],
+                    engine=engine,
+                )
+                measured.query = query_name
+                rows.append(measured)
+    finally:
+        engine.close()
     return rows
 
 
@@ -71,6 +79,7 @@ def run(
     queries: Optional[Dict[str, str]] = None,
     approaches: Optional[Sequence[Approach]] = None,
     seed: int = 11,
+    backend: str = "memory",
 ) -> List[MeasuredQuery]:
     """Run the Fig. 12 sweep and return one measurement per (query, approach, dataset)."""
     max_elements = max_elements or scaled_elements(PAPER_ELEMENTS)
@@ -80,10 +89,14 @@ def run(
     rows: List[MeasuredQuery] = []
     for x_l in xl_values:
         spec = DatasetSpec(dtd, x_l=x_l, x_r=FIXED_XR, max_elements=max_elements, seed=seed)
-        rows.extend(_measure_for_spec(spec, queries, approaches, f"XL={x_l},XR={FIXED_XR}"))
+        rows.extend(
+            _measure_for_spec(spec, queries, approaches, f"XL={x_l},XR={FIXED_XR}", backend)
+        )
     for x_r in xr_values:
         spec = DatasetSpec(dtd, x_l=FIXED_XL, x_r=x_r, max_elements=max_elements, seed=seed)
-        rows.extend(_measure_for_spec(spec, queries, approaches, f"XL={FIXED_XL},XR={x_r}"))
+        rows.extend(
+            _measure_for_spec(spec, queries, approaches, f"XL={FIXED_XL},XR={x_r}", backend)
+        )
     return rows
 
 
@@ -110,11 +123,12 @@ def summarize(rows: List[MeasuredQuery]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 12 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    backend = parse_backend_arg(argv)
     quick = "--quick" in argv
     if quick:
-        rows = run(max_elements=1500, xl_values=(8, 12), xr_values=(4, 8))
+        rows = run(max_elements=1500, xl_values=(8, 12), xr_values=(4, 8), backend=backend)
     else:
-        rows = run()
+        rows = run(backend=backend)
     print("Exp-1 (Fig. 12): Qa-Qd over the cross-cycle DTD")
     print(summarize(rows))
     return 0

@@ -22,11 +22,18 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backends import create_backend
 from repro.core.optimize import push_selection_options, standard_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.samples import cross_dtd
-from repro.experiments.harness import Approach, MeasuredQuery, format_table, measure_query
+from repro.experiments.harness import (
+    Approach,
+    MeasuredQuery,
+    format_table,
+    measure_query,
+    parse_backend_arg,
+)
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
 
@@ -81,6 +88,7 @@ def run(
     selected_sizes: Sequence[int] = PAPER_SELECTED_SIZES,
     scale: int = 16,
     seed: int = 23,
+    backend: str = "memory",
 ) -> List[PushMeasurement]:
     """Run the Fig. 13 sweep; selected-set sizes are scaled like the dataset."""
     max_elements = max_elements or scaled_elements(PAPER_ELEMENTS)
@@ -98,8 +106,16 @@ def run(
             actual = sum(
                 1 for node in tree.nodes_with_label(label) if node.value == f"{label}-0"
             )
-            push_row = measure_query(push, dtd, shredded, query, dataset_label=query_name)
-            nopush_row = measure_query(nopush, dtd, shredded, query, dataset_label=query_name)
+            engine = create_backend(backend, shredded.database)
+            try:
+                push_row = measure_query(
+                    push, dtd, shredded, query, dataset_label=query_name, engine=engine
+                )
+                nopush_row = measure_query(
+                    nopush, dtd, shredded, query, dataset_label=query_name, engine=engine
+                )
+            finally:
+                engine.close()
             results.append(
                 PushMeasurement(
                     query=query_name,
@@ -136,11 +152,12 @@ def summarize(rows: List[PushMeasurement]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 13 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    backend = parse_backend_arg(argv)
     quick = "--quick" in argv
     if quick:
-        rows = run(max_elements=1500, selected_sizes=(100, 1000))
+        rows = run(max_elements=1500, selected_sizes=(100, 1000), backend=backend)
     else:
-        rows = run()
+        rows = run(backend=backend)
     print("Exp-2 (Fig. 13): pushing selections into the LFP operator")
     print(summarize(rows))
     return 0

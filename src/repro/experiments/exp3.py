@@ -13,6 +13,7 @@ from __future__ import annotations
 import sys
 from typing import List, Optional, Sequence
 
+from repro.backends import create_backend
 from repro.dtd.samples import cross_dtd
 from repro.experiments.harness import (
     Approach,
@@ -20,6 +21,7 @@ from repro.experiments.harness import (
     default_approaches,
     format_table,
     measure_query,
+    parse_backend_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -37,6 +39,7 @@ def run(
     approaches: Optional[Sequence[Approach]] = None,
     query: str = SCALABILITY_QUERY,
     seed: int = 5,
+    backend: str = "memory",
 ) -> List[MeasuredQuery]:
     """Run the Fig. 14 sweep over increasing (scaled) dataset sizes."""
     sizes = list(sizes or [scaled_elements(size) for size in PAPER_SIZES])
@@ -47,12 +50,21 @@ def run(
         spec = DatasetSpec(dtd, x_l=FIXED_XL, x_r=FIXED_XR, max_elements=size, seed=seed)
         tree = spec.generate()
         shredded = shred_document(tree, dtd)
-        for approach in approaches:
-            rows.append(
-                measure_query(
-                    approach, dtd, shredded, query, dataset_label=f"{size} elements"
+        engine = create_backend(backend, shredded.database)
+        try:
+            for approach in approaches:
+                rows.append(
+                    measure_query(
+                        approach,
+                        dtd,
+                        shredded,
+                        query,
+                        dataset_label=f"{size} elements",
+                        engine=engine,
+                    )
                 )
-            )
+        finally:
+            engine.close()
     return rows
 
 
@@ -76,11 +88,12 @@ def summarize(rows: List[MeasuredQuery]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 14 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    backend = parse_backend_arg(argv)
     quick = "--quick" in argv
     if quick:
-        rows = run(sizes=(1000, 2000))
+        rows = run(sizes=(1000, 2000), backend=backend)
     else:
-        rows = run()
+        rows = run(backend=backend)
     print("Exp-3 (Fig. 14): scalability of a//d over the cross-cycle DTD")
     print(summarize(rows))
     return 0

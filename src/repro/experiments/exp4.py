@@ -18,6 +18,7 @@ from __future__ import annotations
 import sys
 from typing import List, Optional, Sequence
 
+from repro.backends import create_backend
 from repro.dtd.samples import bioml_dtd, gedml_dtd
 from repro.experiments.harness import (
     Approach,
@@ -25,6 +26,7 @@ from repro.experiments.harness import (
     default_approaches,
     format_table,
     measure_query,
+    parse_backend_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -48,6 +50,7 @@ def run_bioml(
     approaches: Optional[Sequence[Approach]] = None,
     cases=BIOML_CASES,
     seed: int = 31,
+    backend: str = "memory",
 ) -> List[MeasuredQuery]:
     """Fig. 16: the Table 4 cases over one dataset of the 4-cycle BIOML DTD.
 
@@ -63,25 +66,30 @@ def run_bioml(
     tree = spec.generate()
     shredded = shred_document(tree, full_dtd)
     rows: List[MeasuredQuery] = []
-    for case in cases:
-        case_dtd = case.dtd()
-        # The sub-DTD's relations coincide (by name) with the full DTD's, so
-        # the shredded database can serve every case; the translators are
-        # rebuilt per case because the DTD graph differs.
-        for approach in approaches:
-            translator = approach.translator(case_dtd)
-            # Reuse the shredded document but answer through the sub-DTD's
-            # mapping (same relation names).
-            measured = measure_query(
-                approach,
-                case_dtd,
-                shredded,
-                case.query,
-                dataset_label=f"case {case.name} ({case.cycles} cycles)",
-                translator=translator,
-            )
-            measured.query = f"{case.name}:{case.query}"
-            rows.append(measured)
+    engine = create_backend(backend, shredded.database)
+    try:
+        for case in cases:
+            case_dtd = case.dtd()
+            # The sub-DTD's relations coincide (by name) with the full DTD's,
+            # so the shredded database can serve every case; the translators
+            # are rebuilt per case because the DTD graph differs.
+            for approach in approaches:
+                translator = approach.translator(case_dtd)
+                # Reuse the shredded document but answer through the
+                # sub-DTD's mapping (same relation names).
+                measured = measure_query(
+                    approach,
+                    case_dtd,
+                    shredded,
+                    case.query,
+                    dataset_label=f"case {case.name} ({case.cycles} cycles)",
+                    translator=translator,
+                    engine=engine,
+                )
+                measured.query = f"{case.name}:{case.query}"
+                rows.append(measured)
+    finally:
+        engine.close()
     return rows
 
 
@@ -91,6 +99,7 @@ def run_gedml(
     xl_values: Sequence[int] = GEDML_XL_VALUES,
     xr_values: Sequence[int] = GEDML_XR_VALUES,
     seed: int = 37,
+    backend: str = "memory",
 ) -> List[MeasuredQuery]:
     """Fig. 17: even//data over the 9-cycle GedML DTD, varying X_L and X_R."""
     max_elements = max_elements or scaled_elements(PAPER_GEDML_ELEMENTS, scale=32)
@@ -101,24 +110,34 @@ def run_gedml(
         spec = DatasetSpec(dtd, x_l=x_l, x_r=GEDML_FIXED_XR, max_elements=max_elements, seed=seed)
         tree = spec.generate()
         shredded = shred_document(tree, dtd)
-        for approach in approaches:
-            rows.append(
-                measure_query(
-                    approach, dtd, shredded, GEDML_QUERY,
-                    dataset_label=f"XL={x_l},XR={GEDML_FIXED_XR}",
+        engine = create_backend(backend, shredded.database)
+        try:
+            for approach in approaches:
+                rows.append(
+                    measure_query(
+                        approach, dtd, shredded, GEDML_QUERY,
+                        dataset_label=f"XL={x_l},XR={GEDML_FIXED_XR}",
+                        engine=engine,
+                    )
                 )
-            )
+        finally:
+            engine.close()
     for x_r in xr_values:
         spec = DatasetSpec(dtd, x_l=GEDML_FIXED_XL, x_r=x_r, max_elements=max_elements, seed=seed)
         tree = spec.generate()
         shredded = shred_document(tree, dtd)
-        for approach in approaches:
-            rows.append(
-                measure_query(
-                    approach, dtd, shredded, GEDML_QUERY,
-                    dataset_label=f"XL={GEDML_FIXED_XL},XR={x_r}",
+        engine = create_backend(backend, shredded.database)
+        try:
+            for approach in approaches:
+                rows.append(
+                    measure_query(
+                        approach, dtd, shredded, GEDML_QUERY,
+                        dataset_label=f"XL={GEDML_FIXED_XL},XR={x_r}",
+                        engine=engine,
+                    )
                 )
-            )
+        finally:
+            engine.close()
     return rows
 
 
@@ -143,13 +162,16 @@ def summarize(rows: List[MeasuredQuery]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 16 and Fig. 17 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    backend = parse_backend_arg(argv)
     quick = "--quick" in argv
     if quick:
-        bioml_rows = run_bioml(max_elements=2000)
-        gedml_rows = run_gedml(max_elements=2000, xl_values=(13,), xr_values=(6,))
+        bioml_rows = run_bioml(max_elements=2000, backend=backend)
+        gedml_rows = run_gedml(
+            max_elements=2000, xl_values=(13,), xr_values=(6,), backend=backend
+        )
     else:
-        bioml_rows = run_bioml()
-        gedml_rows = run_gedml()
+        bioml_rows = run_bioml(backend=backend)
+        gedml_rows = run_gedml(backend=backend)
     print("Exp-4a (Fig. 16): BIOML cases of Table 4")
     print(summarize(bioml_rows))
     print()

@@ -3,9 +3,13 @@
 An :class:`Approach` names one translator configuration (the paper's "R",
 "E" and "X" curves); :func:`measure_query` runs one query under one
 approach over a shredded document and records translation time, execution
-time and result size.  The experiment modules assemble these measurements
-into the rows/series of the paper's figures; :func:`format_table` renders
-them as plain-text tables for the console and EXPERIMENTS.md.
+time and result size.  Measurements carry a *backend* axis: the same
+translated program can be executed on any registered execution backend
+(``memory`` — the in-memory engine — or ``sqlite``), so exp1–exp5 can
+compare engines as well as translation strategies.  The experiment modules
+assemble these measurements into the rows/series of the paper's figures;
+:func:`format_table` renders them as plain-text tables for the console and
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -14,12 +18,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.backends import Backend, backend_names, create_backend
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.optimize import push_selection_options, standard_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
-from repro.relational.executor import Executor
 from repro.shredding.shredder import ShreddedDocument
 
 __all__ = [
@@ -28,6 +32,7 @@ __all__ = [
     "default_approaches",
     "measure_query",
     "format_table",
+    "parse_backend_arg",
 ]
 
 
@@ -70,7 +75,7 @@ def default_approaches(include_cyclee: bool = True) -> List[Approach]:
 
 @dataclass
 class MeasuredQuery:
-    """One (approach, query, dataset) measurement."""
+    """One (approach, query, dataset, backend) measurement."""
 
     approach: str
     query: str
@@ -79,6 +84,7 @@ class MeasuredQuery:
     execution_seconds: float
     result_rows: int
     document_elements: int
+    backend: str = "memory"
 
     @property
     def total_seconds(self) -> float:
@@ -93,23 +99,40 @@ def measure_query(
     query: str,
     dataset_label: str = "",
     translator: Optional[XPathToSQLTranslator] = None,
+    backend: str = "memory",
+    engine: Optional[Backend] = None,
 ) -> MeasuredQuery:
     """Translate and execute ``query`` under ``approach``; return the measurement.
 
     A pre-built translator may be passed so repeated measurements over the
     same DTD do not pay the CycleEX/CycleE table construction each time
     (the paper likewise reports query evaluation time, not translation-table
-    setup).
+    setup).  ``backend`` picks the execution engine; for the same reason a
+    pre-built ``engine`` over ``shredded.database`` may be passed so a
+    sqlite backend loads the document once per dataset, not once per
+    measurement (the caller keeps ownership and closes it).  The reported
+    execution time covers query execution only, never the document load
+    (mirroring how the paper reports warm-database query times).
     """
     translator = translator or approach.translator(dtd)
     start = time.perf_counter()
     result = translator.translate(query)
     translation_seconds = time.perf_counter() - start
 
-    executor = Executor(shredded.database, lazy=True)
-    start = time.perf_counter()
-    relation = executor.run(result.program)
-    execution_seconds = time.perf_counter() - start
+    owned = engine is None
+    if engine is None:
+        engine = create_backend(backend, shredded.database)
+    else:
+        backend = engine.name
+    try:
+        executed = engine.execute(result.program)
+        # Use the backend's own timing: it covers exactly the query work,
+        # excluding backend bookkeeping (e.g. the sqlite backend's row-count
+        # instrumentation and temp-table teardown) and result normalization.
+        execution_seconds = executed.stats["elapsed_seconds"]
+    finally:
+        if owned:
+            engine.close()
 
     return MeasuredQuery(
         approach=approach.name,
@@ -117,9 +140,41 @@ def measure_query(
         dataset=dataset_label,
         translation_seconds=translation_seconds,
         execution_seconds=execution_seconds,
-        result_rows=len(relation),
+        result_rows=executed.row_count,
         document_elements=shredded.tree.size(),
+        backend=backend,
     )
+
+
+def parse_backend_arg(argv: List[str], default: str = "memory") -> str:
+    """Extract ``--backend NAME`` / ``--backend=NAME`` from an argv list.
+
+    The experiment ``main``s parse flags by hand (they predate argparse
+    use); this helper gives them a uniform backend axis.  The recognised
+    tokens are *removed* from ``argv`` in place.
+    """
+    backend = default
+    remaining: List[str] = []
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        if token == "--backend":
+            if index + 1 >= len(argv):
+                raise SystemExit("--backend requires a value")
+            backend = argv[index + 1]
+            index += 2
+            continue
+        if token.startswith("--backend="):
+            backend = token.split("=", 1)[1]
+            index += 1
+            continue
+        remaining.append(token)
+        index += 1
+    argv[:] = remaining
+    if backend not in backend_names():
+        known = ", ".join(backend_names())
+        raise SystemExit(f"unknown backend {backend!r} (known: {known})")
+    return backend
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

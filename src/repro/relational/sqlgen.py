@@ -9,10 +9,16 @@ low-end recursion feature*.  This module renders a
 * ``DB2`` — the DB2 ``WITH ... AS (... UNION ALL ...)`` recursive common
   table expression shown in Fig. 4;
 * ``ORACLE`` — Oracle's ``CONNECT BY`` hierarchical query for the simple
-  LFP, also shown in Fig. 4.
+  LFP, also shown in Fig. 4;
+* ``SQLITE`` — SQL that SQLite actually accepts and executes: no
+  parenthesised compound-SELECT operands, ``CREATE TEMPORARY TABLE ... AS
+  SELECT`` without parentheses, and ``WITH RECURSIVE`` with ``UNION`` (set
+  semantics) so recursion terminates regardless of data shape.
 
-The emitted SQL is for inspection and documentation; it is not executed by
-the test suite (no RDBMS is available offline).
+GENERIC/DB2/ORACLE output is primarily for inspection and documentation;
+SQLITE output is executed for real by
+:class:`repro.backends.sqlite.SqliteBackend` and differentially validated
+against the in-memory executor.
 """
 
 from __future__ import annotations
@@ -40,7 +46,12 @@ from repro.relational.algebra import (
 )
 from repro.relational.schema import F, T, V
 
-__all__ = ["SQLDialect", "program_to_sql", "expression_to_sql"]
+__all__ = [
+    "SQLDialect",
+    "program_to_sql",
+    "program_statements",
+    "expression_to_sql",
+]
 
 
 class SQLDialect(enum.Enum):
@@ -49,6 +60,7 @@ class SQLDialect(enum.Enum):
     GENERIC = "generic"
     DB2 = "db2"
     ORACLE = "oracle"
+    SQLITE = "sqlite"
 
 
 def _literal(value: object) -> str:
@@ -70,6 +82,13 @@ class _SQLRenderer:
 
     def render(self, expr: RAExpr) -> str:
         if isinstance(expr, Scan):
+            if self._dialect is SQLDialect.SQLITE:
+                # Temporaries are not always (F, T, V): the SQL'99 recursive
+                # union materialises an extra TAG column, so scans must keep
+                # whatever columns the relation actually has.  The name is
+                # quoted because DTD element names (hence relation names) may
+                # contain '-' or '.'.
+                return f'SELECT * FROM "{expr.name}"'
             return f"SELECT {F}, {T}, {V} FROM {expr.name}"
         if isinstance(expr, IdentityRelation):
             return f"SELECT {T} AS {F}, {T}, {V} FROM ALL_NODES"
@@ -133,78 +152,160 @@ class _SQLRenderer:
                 f"(SELECT {expr.right_column} FROM ({right}) {self._alias('q')})"
             )
         if isinstance(expr, Union):
-            parts = [f"({self.render(child)})" for child in expr.inputs]
+            if self._dialect is SQLDialect.SQLITE:
+                # SQLite rejects parenthesised compound-SELECT operands, so
+                # each branch is wrapped in a derived table instead.
+                parts = [
+                    f"SELECT * FROM ({self.render(child)}) {self._alias('u')}"
+                    for child in expr.inputs
+                ]
+            else:
+                parts = [f"({self.render(child)})" for child in expr.inputs]
             return "\nUNION\n".join(parts)
         if isinstance(expr, Difference):
             keyword = "MINUS" if self._dialect is SQLDialect.ORACLE else "EXCEPT"
-            return f"({self.render(expr.left)})\n{keyword}\n({self.render(expr.right)})"
+            return self._compound(expr.left, keyword, expr.right)
         if isinstance(expr, Intersect):
-            return f"({self.render(expr.left)})\nINTERSECT\n({self.render(expr.right)})"
+            return self._compound(expr.left, "INTERSECT", expr.right)
         if isinstance(expr, Fixpoint):
             return self._render_fixpoint(expr)
         if isinstance(expr, RecursiveUnion):
             return self._render_recursive_union(expr)
         raise TypeError(f"cannot render {expr!r} as SQL")
 
+    def _compound(self, left: RAExpr, keyword: str, right: RAExpr) -> str:
+        if self._dialect is SQLDialect.SQLITE:
+            la, ra = self._alias("c"), self._alias("c")
+            return (
+                f"SELECT * FROM ({self.render(left)}) {la}\n{keyword}\n"
+                f"SELECT * FROM ({self.render(right)}) {ra}"
+            )
+        return f"({self.render(left)})\n{keyword}\n({self.render(right)})"
+
     # -- recursion ---------------------------------------------------------------
 
     def _render_fixpoint(self, expr: Fixpoint) -> str:
         base = self.render(expr.base)
-        seed_filter = ""
+        # A target anchor without a source anchor means the closure runs
+        # *backwards* from tuples ending in the anchored set (second
+        # push-selection case of Sect. 5.2): seeds keep their target fixed
+        # and each step prepends an edge, mirroring Executor._fixpoint_backward.
+        backward = expr.target_anchor is not None and expr.source_anchor is None
+        # The bare predicate is kept separate from its WHERE/AND keyword:
+        # the rendered anchor may itself contain WHERE clauses, so textual
+        # keyword substitution on the combined filter would corrupt them.
+        anchor_filter = ""
         if expr.source_anchor is not None:
             anchor = self.render(expr.source_anchor)
-            seed_filter = f" WHERE {F} IN (SELECT {T} FROM ({anchor}) {self._alias('a')})"
-        if expr.target_anchor is not None and expr.source_anchor is None:
+            anchor_filter = f"{F} IN (SELECT {T} FROM ({anchor}) {self._alias('a')})"
+        elif backward:
             anchor = self.render(expr.target_anchor)
-            seed_filter = f" WHERE {T} IN (SELECT {F} FROM ({anchor}) {self._alias('a')})"
+            anchor_filter = f"{T} IN (SELECT {F} FROM ({anchor}) {self._alias('a')})"
+        seed_filter = f" WHERE {anchor_filter}" if anchor_filter else ""
 
         if self._dialect is SQLDialect.ORACLE:
             # Oracle CONNECT BY over the single input relation (Fig. 4 left).
+            start_with = f"START WITH 1 = 1{f' AND {anchor_filter}' if anchor_filter else ''}"
+            if backward:
+                return (
+                    f"SELECT {F}, CONNECT_BY_ROOT {T} AS {T}, CONNECT_BY_ROOT {V} AS {V}\n"
+                    f"FROM ({base})\n"
+                    f"CONNECT BY {T} = PRIOR {F}\n"
+                    f"{start_with}"
+                )
             return (
                 f"SELECT CONNECT_BY_ROOT {F} AS {F}, {T}, {V}\n"
                 f"FROM ({base})\n"
                 f"CONNECT BY PRIOR {T} = {F}\n"
-                f"START WITH 1 = 1{seed_filter.replace(' WHERE', ' AND') if seed_filter else ''}"
+                f"{start_with}"
             )
-        # Generic / DB2: recursive common table expression over one relation.
+        # Generic / DB2 / SQLite: recursive common table expression over one
+        # relation.  SQLite gets a unique CTE name (fixpoints can nest inside
+        # one statement) and UNION instead of UNION ALL so the recursion
+        # terminates with set semantics, like the in-memory fixpoint.
+        sqlite = self._dialect is SQLDialect.SQLITE
+        name = self._alias("lfp") if sqlite else "lfp"
         with_kw = "WITH" if self._dialect is SQLDialect.DB2 else "WITH RECURSIVE"
+        union_kw = "UNION" if sqlite else "UNION ALL"
+        if backward:
+            step = (
+                f"  SELECT step.{F}, {name}.{T}, {name}.{V}\n"
+                f"  FROM {name} JOIN ({base}) step ON step.{T} = {name}.{F}\n"
+            )
+        else:
+            step = (
+                f"  SELECT {name}.{F}, step.{T}, step.{V}\n"
+                f"  FROM {name} JOIN ({base}) step ON {name}.{T} = step.{F}\n"
+            )
         return (
-            f"{with_kw} lfp ({F}, {T}, {V}) AS (\n"
+            f"{with_kw} {name} ({F}, {T}, {V}) AS (\n"
             f"  SELECT {F}, {T}, {V} FROM ({base}) seed{seed_filter}\n"
-            f"  UNION ALL\n"
-            f"  SELECT lfp.{F}, step.{T}, step.{V}\n"
-            f"  FROM lfp JOIN ({base}) step ON lfp.{T} = step.{F}\n"
+            f"  {union_kw}\n"
+            f"{step}"
             f")\n"
-            f"SELECT DISTINCT {F}, {T}, {V} FROM lfp"
+            f"SELECT DISTINCT {F}, {T}, {V} FROM {name}"
         )
 
     def _render_recursive_union(self, expr: RecursiveUnion) -> str:
+        sqlite = self._dialect is SQLDialect.SQLITE
+        name = self._alias("rec") if sqlite else "r"
+        union_kw = "UNION" if sqlite else "UNION ALL"
         init = self.render(expr.init)
         branches: List[str] = []
         for step in expr.steps:
             edge = self.render(step.relation)
             alias = self._alias("e")
             branches.append(
-                f"  SELECT r.{T} AS {F}, {alias}.{T} AS {T}, {alias}.{V} AS {V}, "
+                # The origin node stays in F (matching EdgeStep semantics and
+                # the executor) so the recursion yields ancestor/descendant
+                # pairs that compose with the rest of the program.
+                f"  SELECT {name}.{F} AS {F}, {alias}.{T} AS {T}, {alias}.{V} AS {V}, "
                 f"'{step.child_tag}' AS TAG\n"
-                f"  FROM r JOIN ({edge}) {alias} ON r.{T} = {alias}.{F} "
-                f"AND r.TAG = '{step.parent_tag}'"
+                f"  FROM {name} JOIN ({edge}) {alias} ON {name}.{T} = {alias}.{F} "
+                f"AND {name}.TAG = '{step.parent_tag}'"
             )
         with_kw = "WITH" if self._dialect is SQLDialect.DB2 else "WITH RECURSIVE"
-        body = "\n  UNION ALL\n".join(branches)
+        body = f"\n  {union_kw}\n".join(branches)
         return (
-            f"{with_kw} r ({F}, {T}, {V}, TAG) AS (\n"
+            f"{with_kw} {name} ({F}, {T}, {V}, TAG) AS (\n"
             f"  {init}\n"
-            f"  UNION ALL\n"
+            f"  {union_kw}\n"
             f"{body}\n"
             f")\n"
-            f"SELECT DISTINCT {F}, {T}, {V}, TAG FROM r"
+            f"SELECT DISTINCT {F}, {T}, {V}, TAG FROM {name}"
         )
 
 
 def expression_to_sql(expr: RAExpr, dialect: SQLDialect = SQLDialect.GENERIC) -> str:
     """Render a single relational expression as a SELECT statement."""
     return _SQLRenderer(dialect).render(expr)
+
+
+def program_statements(
+    program: Program, dialect: SQLDialect = SQLDialect.GENERIC
+) -> List[str]:
+    """Render a program as executable statements, one per assignment plus the
+    result SELECT (no trailing semicolons).
+
+    This is the single source of truth for the statement shapes: both the
+    script renderer (:func:`program_to_sql`) and the backends that actually
+    execute the SQL consume it, so golden-text tests pin exactly what runs.
+    """
+    renderer = _SQLRenderer(dialect)
+    statements: List[str] = []
+    for assignment in program.assignments:
+        body = renderer.render(assignment.expression)
+        if dialect is SQLDialect.SQLITE:
+            # SQLite rejects a parenthesised SELECT after AS.
+            statements.append(
+                f'CREATE TEMPORARY TABLE "{assignment.target}" AS\n{body}'
+            )
+        else:
+            statements.append(
+                f"CREATE TEMPORARY TABLE {assignment.target} AS (\n{body}\n)"
+            )
+    statements.append(renderer.render(program.result))
+    return statements
 
 
 def program_to_sql(program: Program, dialect: SQLDialect = SQLDialect.GENERIC) -> str:
@@ -214,12 +315,4 @@ def program_to_sql(program: Program, dialect: SQLDialect = SQLDialect.GENERIC) -
     the script mirrors the ``R_e <- e2s(e)`` sequence of Sect. 5.1; the
     result is the final SELECT.
     """
-    renderer = _SQLRenderer(dialect)
-    statements: List[str] = []
-    for assignment in program.assignments:
-        body = renderer.render(assignment.expression)
-        statements.append(
-            f"CREATE TEMPORARY TABLE {assignment.target} AS (\n{body}\n);"
-        )
-    statements.append(renderer.render(program.result) + ";")
-    return "\n\n".join(statements)
+    return "\n\n".join(f"{s};" for s in program_statements(program, dialect))

@@ -1,0 +1,157 @@
+"""Tests for the pluggable execution backends."""
+
+import pytest
+
+from repro.backends import (
+    BACKENDS,
+    MemoryBackend,
+    SqliteBackend,
+    backend_names,
+    create_backend,
+    normalize_rows,
+    sqlite_schema_ddl,
+)
+from repro.backends.base import BackendResult
+from repro.core.optimize import push_selection_options
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.errors import ExecutionError
+from repro.relational.schema import T
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert backend_names() == ["memory", "sqlite"]
+        assert BACKENDS["memory"] is MemoryBackend
+        assert BACKENDS["sqlite"] is SqliteBackend
+
+    def test_create_backend_by_name(self, dept_shredded):
+        backend = create_backend("memory", dept_shredded.database)
+        assert isinstance(backend, MemoryBackend)
+        with create_backend("sqlite", dept_shredded.database) as backend:
+            assert isinstance(backend, SqliteBackend)
+
+    def test_unknown_backend_rejected(self, dept_shredded):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("duckdb", dept_shredded.database)
+
+
+class TestNormalization:
+    def test_ints_and_strings_collapse(self):
+        assert normalize_rows({(5, 7, "_")}) == normalize_rows({("5", "7", "_")})
+
+    def test_result_node_ids_come_from_t_column(self):
+        result = BackendResult(
+            backend="memory",
+            columns=("F", "T", "V"),
+            rows=frozenset({("1", "2", "x"), ("1", "3", "y")}),
+        )
+        assert result.node_ids() == {"2", "3"}
+        assert result.row_count == 2
+
+
+class TestSqliteDDL:
+    def test_one_table_per_relation_plus_identity_view(self, dept_shredded):
+        statements = sqlite_schema_ddl(dept_shredded.database.schema)
+        tables = [s for s in statements if s.startswith("CREATE TABLE")]
+        assert len(tables) == len(dept_shredded.database.schema.relation_names)
+        assert any("ALL_NODES" in s for s in statements)
+        indexes = [s for s in statements if s.startswith("CREATE INDEX")]
+        # One index per join column (F and T) per relation.
+        assert len(indexes) == 2 * len(tables)
+
+
+class TestSqliteExecution:
+    def test_matches_memory_on_recursive_query(self, dept_dtd, dept_shredded):
+        translator = XPathToSQLTranslator(dept_dtd)
+        program = translator.translate("dept//project").program
+        memory = MemoryBackend(dept_shredded.database)
+        with SqliteBackend(dept_shredded.database) as sqlite:
+            assert sqlite.execute(program).rows == memory.execute(program).rows
+
+    def test_matches_direct_answer_path(self, dept_dtd, dept_shredded):
+        translator = XPathToSQLTranslator(dept_dtd)
+        expected = {
+            node.node_id for node in translator.answer("dept//project", dept_shredded)
+        }
+        program = translator.translate("dept//project").program
+        with SqliteBackend(dept_shredded.database) as sqlite:
+            actual = {int(t) for t in sqlite.answer_node_ids(program)}
+        assert actual == expected
+
+    def test_pushed_selections_agree(self, cross_dtd, cross_shredded):
+        """Anchored fixpoints (incl. the backward case) execute correctly."""
+        translator = XPathToSQLTranslator(cross_dtd, options=push_selection_options())
+        memory = MemoryBackend(cross_shredded.database)
+        with SqliteBackend(cross_shredded.database) as sqlite:
+            for query in ('a/b[text() = "b-0"]//c/d', 'a/b//c/d[text() = "d-0"]'):
+                program = translator.translate(query).program
+                assert sqlite.execute(program).rows == memory.execute(program).rows
+
+    def test_recursive_union_strategy_agrees(self, cross_dtd, cross_shredded):
+        translator = XPathToSQLTranslator(
+            cross_dtd, strategy=DescendantStrategy.RECURSIVE_UNION
+        )
+        program = translator.translate("a/b//c/d").program
+        memory = MemoryBackend(cross_shredded.database)
+        with SqliteBackend(cross_shredded.database) as sqlite:
+            assert sqlite.execute(program).rows == memory.execute(program).rows
+
+    def test_backend_is_reusable_across_programs(self, cross_dtd, cross_shredded):
+        """Temp tables are dropped, so one backend serves many executions."""
+        translator = XPathToSQLTranslator(cross_dtd)
+        first = translator.translate("a//d").program
+        second = translator.translate("a/b//c/d").program
+        with SqliteBackend(cross_shredded.database) as sqlite:
+            one = sqlite.execute(first)
+            two = sqlite.execute(second)
+            again = sqlite.execute(first)
+        assert one.rows == again.rows
+        assert one.rows != two.rows or one.row_count == two.row_count
+
+    def test_stats_report_rows_and_wall_time(self, dept_dtd, dept_shredded):
+        translator = XPathToSQLTranslator(dept_dtd)
+        program = translator.translate("dept//project").program
+        with SqliteBackend(dept_shredded.database) as sqlite:
+            result = sqlite.execute(program)
+        assert result.stats["rows"] == result.row_count
+        assert result.stats["elapsed_seconds"] >= 0
+        assert result.stats["temporaries_evaluated"] >= 1
+
+    def test_closed_backend_raises(self, dept_dtd, dept_shredded):
+        translator = XPathToSQLTranslator(dept_dtd)
+        program = translator.translate("dept//project").program
+        backend = SqliteBackend(dept_shredded.database)
+        backend.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            backend.execute(program)
+
+    def test_memory_backend_reports_executor_stats(self, dept_dtd, dept_shredded):
+        translator = XPathToSQLTranslator(dept_dtd)
+        program = translator.translate("dept//project").program
+        result = MemoryBackend(dept_shredded.database).execute(program)
+        assert result.backend == "memory"
+        assert result.stats["rows"] == result.row_count
+        assert "fixpoint_iterations" in result.stats
+        assert result.columns[-2] == T or T in result.columns
+
+
+class TestIdentifierQuoting:
+    def test_hyphenated_element_names_execute_on_sqlite(self):
+        """DTD names may contain '-' (e.g. GedML); rendered SQL must quote them."""
+        from repro.dtd.parser import parse_dtd
+        from repro.xmltree.generator import generate_document
+
+        dtd = parse_dtd(
+            "root event-log\n"
+            "event-log -> event-date*\n"
+            "event-date -> event-date*\n",
+            name="hyphens",
+        )
+        tree = generate_document(dtd, x_l=5, x_r=2, seed=1, max_elements=100)
+        translator = XPathToSQLTranslator(dtd)
+        shredded = translator.shred(tree)
+        program = translator.translate("event-log//event-date").program
+        memory = MemoryBackend(shredded.database)
+        with SqliteBackend(shredded.database) as sqlite:
+            assert sqlite.execute(program).rows == memory.execute(program).rows

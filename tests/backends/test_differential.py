@@ -1,0 +1,86 @@
+"""The differential suite: every workload query, identical answers everywhere.
+
+This is the acceptance test of the backends subsystem: every query in
+``repro.workloads.queries`` (plus a non-recursive document) runs on the
+in-memory engine and on SQLite, and the normalized answer sets must match
+tuple-for-tuple.
+"""
+
+import pytest
+
+from repro.backends.differential import (
+    DifferentialOutcome,
+    assert_backends_agree,
+    default_specs,
+    non_recursive_dtd,
+    run_differential,
+)
+
+
+class TestSpecs:
+    def test_default_specs_cover_recursive_and_non_recursive_dtds(self):
+        specs = default_specs()
+        recursive = [spec for spec in specs if spec.dtd.is_recursive()]
+        flat = [spec for spec in specs if not spec.dtd.is_recursive()]
+        assert recursive and flat
+
+    def test_default_specs_cover_every_workload_query(self):
+        from repro.workloads import queries as wl
+
+        covered = set()
+        for spec in default_specs():
+            covered.update(spec.queries.values())
+        assert set(wl.DEPT_QUERIES.values()) <= covered
+        assert set(wl.CROSS_QUERIES.values()) <= covered
+        assert wl.SCALABILITY_QUERY in covered
+        assert wl.GEDML_QUERY in covered
+        assert {case.query for case in wl.BIOML_CASES} <= covered
+        # The selective templates appear instantiated with a concrete value.
+        for template in wl.SELECTIVE_QUERIES.values():
+            prefix = template.split("{", 1)[0]
+            assert any(query.startswith(prefix) for query in covered)
+
+    def test_non_recursive_dtd_is_non_recursive(self):
+        assert not non_recursive_dtd().is_recursive()
+
+
+class TestDifferential:
+    def test_all_backends_agree_on_all_workloads(self):
+        outcomes = run_differential(default_specs(max_elements=300))
+        assert outcomes, "differential sweep produced no comparisons"
+        assert_backends_agree(outcomes)
+        # Some queries must produce non-empty answers or the test is vacuous.
+        assert any(outcome.reference_rows > 0 for outcome in outcomes)
+
+    def test_requires_two_backends(self):
+        with pytest.raises(ValueError, match="at least two"):
+            run_differential(backends=["memory"])
+
+    def test_assert_raises_on_mismatch(self):
+        bad = DifferentialOutcome(
+            spec="s",
+            query_name="q",
+            query="a//b",
+            reference_backend="memory",
+            candidate_backend="sqlite",
+            reference_rows=2,
+            candidate_rows=1,
+            matched=False,
+            missing_node_ids=("7",),
+        )
+        with pytest.raises(AssertionError, match="MISMATCH"):
+            assert_backends_agree([bad])
+
+    def test_outcome_describe_mentions_backends(self):
+        good = DifferentialOutcome(
+            spec="s",
+            query_name="q",
+            query="a//b",
+            reference_backend="memory",
+            candidate_backend="sqlite",
+            reference_rows=2,
+            candidate_rows=2,
+            matched=True,
+        )
+        line = good.describe()
+        assert "memory" in line and "sqlite" in line and line.startswith("OK")

@@ -81,3 +81,39 @@ class TestCommands:
     def test_experiment_quick(self, capsys):
         assert main(["experiment", "exp3", "--quick"]) == 0
         assert "Fig. 14" in capsys.readouterr().out
+
+
+class TestBackendFlags:
+    def test_answer_backend_choices_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["answer", "cross", "a//d", "--backend", "sqlite"])
+        assert args.backend == "sqlite"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["answer", "cross", "a//d", "--backend", "nope"])
+
+    def test_answer_on_sqlite_matches_memory(self, capsys):
+        argv = ["answer", "cross", "a//d", "--elements", "300", "--seed", "3", "--limit", "3"]
+        assert main(argv + ["--backend", "memory"]) == 0
+        memory_output = capsys.readouterr().out
+        assert main(argv + ["--backend", "sqlite"]) == 0
+        sqlite_output = capsys.readouterr().out
+        # Same matches, same printed nodes; only the stats line differs.
+        assert memory_output.splitlines()[1:] == sqlite_output.splitlines()[1:]
+        assert "matches:" in memory_output
+        assert "backend: sqlite" in sqlite_output
+
+    def test_translate_sqlite_dialect(self, capsys):
+        assert main(["translate", "cross", "a//d", "--dialect", "sqlite", "--show", "sql"]) == 0
+        output = capsys.readouterr().out
+        assert "SQL (sqlite)" in output
+        assert "WITH RECURSIVE" in output
+
+    def test_experiment_backend_flag(self, capsys):
+        assert main(["experiment", "exp3", "--quick", "--backend", "sqlite"]) == 0
+        assert "Fig. 14" in capsys.readouterr().out
+
+    def test_diff_subcommand(self, capsys):
+        assert main(["diff", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "comparisons agree" in output
+        assert "MISMATCH" not in output

@@ -119,3 +119,41 @@ class TestExperimentModules:
         output = capsys.readouterr().out
         assert "Fig. 14" in output
         assert "exec_s" in output
+
+
+class TestBackendAxis:
+    def test_measure_query_on_sqlite_matches_memory_rows(self, cross_dtd, cross_shredded):
+        from repro.experiments.harness import default_approaches, measure_query
+
+        approach = default_approaches()[-1]
+        memory = measure_query(approach, cross_dtd, cross_shredded, "a//d", backend="memory")
+        sqlite = measure_query(approach, cross_dtd, cross_shredded, "a//d", backend="sqlite")
+        assert memory.backend == "memory"
+        assert sqlite.backend == "sqlite"
+        assert memory.result_rows == sqlite.result_rows
+
+    def test_parse_backend_arg_strips_tokens(self):
+        from repro.experiments.harness import parse_backend_arg
+
+        argv = ["--quick", "--backend", "sqlite"]
+        assert parse_backend_arg(argv) == "sqlite"
+        assert argv == ["--quick"]
+        argv = ["--backend=memory"]
+        assert parse_backend_arg(argv) == "memory"
+        assert argv == []
+
+    def test_parse_backend_arg_rejects_unknown(self):
+        import pytest
+
+        from repro.experiments.harness import parse_backend_arg
+
+        with pytest.raises(SystemExit):
+            parse_backend_arg(["--backend", "duckdb"])
+
+    def test_parse_backend_arg_rejects_missing_value(self):
+        import pytest
+
+        from repro.experiments.harness import parse_backend_arg
+
+        with pytest.raises(SystemExit, match="requires a value"):
+            parse_backend_arg(["--quick", "--backend"])

@@ -134,3 +134,149 @@ class TestProgramRendering:
         assert "CREATE TEMPORARY TABLE" in sql
         assert "WITH RECURSIVE" in sql
         assert "R_project" in sql
+
+
+class TestGoldenText:
+    """Exact-text goldens per dialect: a non-recursive program and a fixpoint.
+
+    These pin the emitted SQL so dialect regressions show up as readable
+    diffs; the SQLITE output is additionally executed for real by the
+    backends test suite.
+    """
+
+    def _program(self):
+        return Program(
+            [Assignment("T1", Compose(Scan("R_a"), Scan("R_b")))],
+            Select(Scan("T1"), (Condition("F", "=", "_"),)),
+        )
+
+    CTAS_GOLDEN = (
+        "CREATE TEMPORARY TABLE T1 AS (\n"
+        "SELECT l1.F AS F, r2.T AS T, r2.V AS V FROM (SELECT F, T, V FROM R_a) l1 "
+        "JOIN (SELECT F, T, V FROM R_b) r2 ON l1.T = r2.F\n"
+        ");\n"
+        "\n"
+        "SELECT t3.* FROM (SELECT F, T, V FROM T1) t3 WHERE t3.F = '_';"
+    )
+
+    def test_program_generic_golden(self):
+        assert program_to_sql(self._program(), SQLDialect.GENERIC) == self.CTAS_GOLDEN
+
+    def test_program_db2_golden(self):
+        assert program_to_sql(self._program(), SQLDialect.DB2) == self.CTAS_GOLDEN
+
+    def test_program_oracle_golden(self):
+        assert program_to_sql(self._program(), SQLDialect.ORACLE) == self.CTAS_GOLDEN
+
+    def test_program_sqlite_golden(self):
+        assert program_to_sql(self._program(), SQLDialect.SQLITE) == (
+            'CREATE TEMPORARY TABLE "T1" AS\n'
+            'SELECT l1.F AS F, r2.T AS T, r2.V AS V FROM (SELECT * FROM "R_a") l1 '
+            'JOIN (SELECT * FROM "R_b") r2 ON l1.T = r2.F;\n'
+            "\n"
+            'SELECT t3.* FROM (SELECT * FROM "T1") t3 WHERE t3.F = \'_\';'
+        )
+
+    def test_fixpoint_generic_golden(self):
+        assert expression_to_sql(Fixpoint(Scan("R_c")), SQLDialect.GENERIC) == (
+            "WITH RECURSIVE lfp (F, T, V) AS (\n"
+            "  SELECT F, T, V FROM (SELECT F, T, V FROM R_c) seed\n"
+            "  UNION ALL\n"
+            "  SELECT lfp.F, step.T, step.V\n"
+            "  FROM lfp JOIN (SELECT F, T, V FROM R_c) step ON lfp.T = step.F\n"
+            ")\n"
+            "SELECT DISTINCT F, T, V FROM lfp"
+        )
+
+    def test_fixpoint_db2_golden(self):
+        assert expression_to_sql(Fixpoint(Scan("R_c")), SQLDialect.DB2) == (
+            "WITH lfp (F, T, V) AS (\n"
+            "  SELECT F, T, V FROM (SELECT F, T, V FROM R_c) seed\n"
+            "  UNION ALL\n"
+            "  SELECT lfp.F, step.T, step.V\n"
+            "  FROM lfp JOIN (SELECT F, T, V FROM R_c) step ON lfp.T = step.F\n"
+            ")\n"
+            "SELECT DISTINCT F, T, V FROM lfp"
+        )
+
+    def test_fixpoint_oracle_golden(self):
+        assert expression_to_sql(Fixpoint(Scan("R_c")), SQLDialect.ORACLE) == (
+            "SELECT CONNECT_BY_ROOT F AS F, T, V\n"
+            "FROM (SELECT F, T, V FROM R_c)\n"
+            "CONNECT BY PRIOR T = F\n"
+            "START WITH 1 = 1"
+        )
+
+    def test_fixpoint_sqlite_golden(self):
+        # SQLite: unique CTE name, UNION (set semantics) for termination.
+        assert expression_to_sql(Fixpoint(Scan("R_c")), SQLDialect.SQLITE) == (
+            'WITH RECURSIVE lfp1 (F, T, V) AS (\n'
+            '  SELECT F, T, V FROM (SELECT * FROM "R_c") seed\n'
+            "  UNION\n"
+            "  SELECT lfp1.F, step.T, step.V\n"
+            '  FROM lfp1 JOIN (SELECT * FROM "R_c") step ON lfp1.T = step.F\n'
+            ")\n"
+            "SELECT DISTINCT F, T, V FROM lfp1"
+        )
+
+
+class TestSqliteDialectShapes:
+    """Structural properties the SQLITE dialect must keep to stay executable."""
+
+    def test_no_parenthesised_ctas(self):
+        sql = program_to_sql(
+            Program([Assignment("T1", Scan("R_a"))], Scan("T1")), SQLDialect.SQLITE
+        )
+        assert "AS (" not in sql
+
+    def test_union_operands_are_derived_tables(self):
+        sql = expression_to_sql(Union((Scan("A"), Scan("B"))), SQLDialect.SQLITE)
+        assert sql.startswith("SELECT * FROM (")
+        assert "(SELECT" not in sql.split("UNION")[0].replace("FROM (SELECT", "")
+
+    def test_difference_operands_are_derived_tables(self):
+        sql = expression_to_sql(Difference(Scan("A"), Scan("B")), SQLDialect.SQLITE)
+        assert "EXCEPT" in sql
+        assert not sql.startswith("(")
+
+    def test_backward_fixpoint_prepends_edges(self):
+        """A target anchor without a source anchor recurses backwards."""
+        sql = expression_to_sql(
+            Fixpoint(Scan("R"), target_anchor=Scan("S")), SQLDialect.SQLITE
+        )
+        assert "WHERE T IN" in sql
+        assert "SELECT step.F, lfp2.T, lfp2.V" in sql
+        assert "ON step.T = lfp2.F" in sql
+
+    def test_backward_fixpoint_generic_also_prepends(self):
+        sql = expression_to_sql(
+            Fixpoint(Scan("R"), target_anchor=Scan("S")), SQLDialect.GENERIC
+        )
+        assert "SELECT step.F, lfp.T, lfp.V" in sql
+
+    def test_recursive_union_keeps_origin_in_f(self):
+        """Branches keep the origin node in F, matching EdgeStep semantics."""
+        recursive = RecursiveUnion(
+            TagProject(Scan("R_c"), "c"), (EdgeStep(Scan("R_c"), "c", "c"),)
+        )
+        for dialect in (SQLDialect.GENERIC, SQLDialect.SQLITE):
+            sql = expression_to_sql(recursive, dialect)
+            assert ".F AS F" in sql
+            assert ".T AS F" not in sql
+
+    def test_executes_on_sqlite(self):
+        """The emitted script actually runs: closure of a 4-node chain."""
+        import sqlite3
+
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE R_c (F TEXT, T TEXT, V TEXT)")
+        connection.executemany(
+            "INSERT INTO R_c VALUES (?, ?, ?)",
+            [("1", "2", "_"), ("2", "3", "_"), ("3", "4", "_")],
+        )
+        sql = expression_to_sql(Fixpoint(Scan("R_c")), SQLDialect.SQLITE)
+        pairs = {(f, t) for f, t, _ in connection.execute(sql)}
+        assert pairs == {
+            ("1", "2"), ("2", "3"), ("3", "4"),
+            ("1", "3"), ("2", "4"), ("1", "4"),
+        }
