@@ -24,6 +24,7 @@ Quickstart
 from repro.backends import Backend, BackendResult, MemoryBackend, SqliteBackend, create_backend
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.pipeline import TranslationResult, XPathToSQLTranslator, answer_xpath
+from repro.fuzz import DifferentialOracle, FuzzCase, FuzzConfig, run_fuzz
 from repro.core.sqlgen_r import SQLGenR
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
@@ -55,5 +56,9 @@ __all__ = [
     "MemoryBackend",
     "SqliteBackend",
     "create_backend",
+    "FuzzCase",
+    "FuzzConfig",
+    "DifferentialOracle",
+    "run_fuzz",
     "__version__",
 ]

@@ -16,6 +16,13 @@ Usage::
 
 ``python -m repro.backends.differential`` runs the default sweep and prints
 one line per (document, query, backend pair).
+
+Specs are not limited to the fixed workloads: a spec can carry an explicit
+pre-built ``document`` (any :class:`~repro.xmltree.tree.XMLTree`), and
+:meth:`repro.fuzz.cases.FuzzCase.to_differential_spec` converts a generated
+fuzz case into a spec, so randomized workloads run through the very same
+backend-vs-backend comparison.  The richer evaluator-vs-everything oracle
+lives in :mod:`repro.fuzz.oracle`.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from repro.workloads.queries import (
     SELECTIVE_QUERIES,
 )
 from repro.xmltree.generator import generate_document
+from repro.xmltree.tree import XMLTree
 
 __all__ = [
     "DifferentialSpec",
@@ -56,7 +64,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class DifferentialSpec:
-    """One differential scenario: a DTD, a document shape and its queries."""
+    """One differential scenario: a DTD, a document and its queries.
+
+    The document is either described by shape knobs (``x_l``/``x_r``/
+    ``seed``/``max_elements``/``distinct_values``, fed to the synthetic
+    generator) or passed in ready-made via ``document`` — which is how
+    *generated* workloads (fuzz cases, external corpora) enter the same
+    sweep as the fixed paper workloads.
+    """
 
     label: str
     dtd: DTD
@@ -67,6 +82,21 @@ class DifferentialSpec:
     x_r: int = 3
     seed: int = 5
     max_elements: int = 400
+    distinct_values: int = 100
+    document: Optional[XMLTree] = None
+
+    def materialize(self) -> XMLTree:
+        """The spec's document: the explicit one, or a generated one."""
+        if self.document is not None:
+            return self.document
+        return generate_document(
+            self.dtd,
+            x_l=self.x_l,
+            x_r=self.x_r,
+            seed=self.seed,
+            max_elements=self.max_elements,
+            distinct_values=self.distinct_values,
+        )
 
 
 @dataclass(frozen=True)
@@ -204,13 +234,7 @@ def run_differential(
 
     outcomes: List[DifferentialOutcome] = []
     for spec in specs:
-        tree = generate_document(
-            spec.dtd,
-            x_l=spec.x_l,
-            x_r=spec.x_r,
-            seed=spec.seed,
-            max_elements=spec.max_elements,
-        )
+        tree = spec.materialize()
         translator = XPathToSQLTranslator(
             spec.dtd, strategy=spec.strategy, options=spec.options
         )

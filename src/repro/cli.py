@@ -24,6 +24,19 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     Run the differential suite: every workload query on every backend,
     asserting identical answer sets.
 
+``generate``
+    Generate a DTD-conforming document with explicit shape knobs
+    (``--seed``, ``--elements``, ``--x-l``, ``--x-r``) and print it as XML
+    and/or a structural summary — the reproducibility companion of
+    ``answer`` and ``experiment``.
+
+``fuzz``
+    Randomized differential fuzzing: generate seeded random (DTD, document,
+    query) triples and answer each on the XPath evaluator, the in-memory
+    engine under every descendant strategy and optimisation setting, and
+    SQLite; disagreements are auto-shrunk to minimal repros and optionally
+    saved as a replayable JSON corpus (``--save-failures``, ``--replay``).
+
 Examples
 --------
 ::
@@ -36,7 +49,12 @@ Examples
     python -m repro answer cross "a//d" --backend sqlite
     python -m repro experiment exp5
     python -m repro experiment exp3 --quick --backend sqlite
+    python -m repro experiment exp1 --quick --seed 7 --elements 800
     python -m repro diff --quick
+    python -m repro generate gedml --seed 3 --elements 500 --show stats
+    python -m repro fuzz --seed 42 --budget 100
+    python -m repro fuzz --seed 7 --budget 200 --save-failures failures/
+    python -m repro fuzz --replay failures/
 """
 
 from __future__ import annotations
@@ -141,11 +159,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=backend_names(), default="memory",
         help="execution backend for exp1-exp4 (default: memory)",
     )
+    experiment.add_argument(
+        "--seed", type=int, default=None,
+        help="document-generator seed for exp1-exp4 (default: each experiment's fixed seed)",
+    )
+    experiment.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget for exp1-exp4 (default: each experiment's sweep)",
+    )
 
     diff = commands.add_parser(
         "diff", help="differentially validate all backends on the workload queries"
     )
     diff.add_argument("--quick", action="store_true", help="smaller documents")
+
+    generate = commands.add_parser(
+        "generate", help="generate a DTD-conforming document with explicit shape knobs"
+    )
+    generate.add_argument("dtd", help="paper DTD name or file path")
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument("--elements", type=int, default=500, help="element budget")
+    generate.add_argument("--x-l", type=int, default=8, help="maximum levels (X_L)")
+    generate.add_argument("--x-r", type=int, default=4, help="maximum repetition (X_R)")
+    generate.add_argument(
+        "--distinct-values", type=int, default=100,
+        help="distinct text values per text element type",
+    )
+    generate.add_argument(
+        "--show", choices=["xml", "stats", "both"], default="both",
+        help="print the document, its structural summary, or both",
+    )
+    generate.add_argument("--out", default=None, help="write the XML to this file instead of stdout")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="randomized cross-engine differential fuzzing"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="master seed of the sweep")
+    fuzz.add_argument("--budget", type=int, default=100, help="number of generated cases")
+    fuzz.add_argument("--min-types", type=int, default=3, help="minimum DTD element types")
+    fuzz.add_argument("--max-types", type=int, default=7, help="maximum DTD element types")
+    fuzz.add_argument(
+        "--max-cycle-edges", type=int, default=3,
+        help="maximum injected DTD cycles (0 = non-recursive only)",
+    )
+    fuzz.add_argument(
+        "--queries-per-dtd", type=int, default=4, help="cases generated per random DTD"
+    )
+    fuzz.add_argument("--elements", type=int, default=150, help="document element budget")
+    fuzz.add_argument("--x-l", type=int, default=8, help="maximum document levels (X_L)")
+    fuzz.add_argument("--x-r", type=int, default=3, help="maximum repetition (X_R)")
+    fuzz.add_argument(
+        "--strategies", default=None,
+        help=f"comma-separated descendant strategies (default: all of {','.join(sorted(_STRATEGIES))})",
+    )
+    fuzz.add_argument(
+        "--backends", default=None,
+        help=f"comma-separated backends (default: {','.join(backend_names())})",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report failures without auto-shrinking"
+    )
+    fuzz.add_argument(
+        "--save-failures", metavar="DIR", default=None,
+        help="write failing cases (original + shrunk) as JSON into DIR",
+    )
+    fuzz.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay a saved corpus (a .json case file or a directory) instead of fuzzing",
+    )
 
     return parser
 
@@ -216,12 +297,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     modules = {"exp1": exp1, "exp2": exp2, "exp3": exp3, "exp4": exp4, "exp5": exp5}
     module = modules[args.name]
     argv: List[str] = ["--quick"] if args.quick else []
+    execution_flags = []
     if args.backend != "memory":
+        execution_flags.append(f"--backend={args.backend}")
+    if args.seed is not None:
+        execution_flags.append(f"--seed={args.seed}")
+    if args.elements is not None:
+        execution_flags.append(f"--elements={args.elements}")
+    if execution_flags:
         if args.name == "exp5":
-            # Exp-5 reports static operator counts; nothing executes.
-            print("note: exp5 is translation-only, --backend has no effect")
+            # Exp-5 reports static operator counts; nothing executes and no
+            # document is generated.
+            print("note: exp5 is translation-only, --backend/--seed/--elements have no effect")
         else:
-            argv.append(f"--backend={args.backend}")
+            argv.extend(execution_flags)
     return module.main(argv)
 
 
@@ -229,6 +318,97 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.backends import differential
 
     return differential.main(["--quick"] if args.quick else [])
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.xmltree.validator import validate
+
+    dtd = _load_dtd(args.dtd)
+    document = generate_document(
+        dtd,
+        x_l=args.x_l,
+        x_r=args.x_r,
+        seed=args.seed,
+        max_elements=args.elements,
+        distinct_values=args.distinct_values,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document.to_xml())
+    elif args.show in ("xml", "both"):
+        print(document.to_xml())
+    if args.show in ("stats", "both"):
+        labels = ", ".join(
+            f"{label}={count}" for label, count in sorted(document.labels().items())
+        )
+        problems = validate(document, dtd)
+        print(
+            f"document: {document.size()} elements, height {document.height()}; "
+            f"dtd: {dtd.name}; seed={args.seed} x_l={args.x_l} x_r={args.x_r} "
+            f"elements<={args.elements}"
+        )
+        print(f"labels: {labels}")
+        print(f"conforms: {not problems}")
+        for problem in problems[:5]:
+            print(f"  violation: {problem}")
+        if problems:
+            return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import DocumentSpec, FuzzConfig, default_engines, replay_corpus, run_fuzz
+
+    strategies = None
+    if args.strategies:
+        try:
+            strategies = [_STRATEGIES[name] for name in args.strategies.split(",") if name]
+        except KeyError as exc:
+            raise SystemExit(f"unknown strategy {exc.args[0]!r} (known: {', '.join(sorted(_STRATEGIES))})")
+    backends = None
+    if args.backends:
+        known = set(backend_names())
+        backends = [name for name in args.backends.split(",") if name]
+        unknown = [name for name in backends if name not in known]
+        if unknown:
+            raise SystemExit(f"unknown backend(s) {unknown} (known: {', '.join(sorted(known))})")
+    engines = default_engines(backends=backends, strategies=strategies)
+
+    if args.replay:
+        try:
+            outcomes = replay_corpus(args.replay, engines)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"cannot replay {args.replay!r}: {exc}") from None
+        for outcome in outcomes:
+            print(outcome.describe())
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
+        print(f"{len(outcomes) - failed}/{len(outcomes)} corpus case(s) agree")
+        return 1 if failed else 0
+
+    if args.budget < 0:
+        raise SystemExit("--budget must be >= 0")
+    if args.queries_per_dtd < 1:
+        raise SystemExit("--queries-per-dtd must be >= 1")
+    if args.min_types < 2:
+        raise SystemExit("--min-types must be >= 2")
+    if args.max_types < args.min_types:
+        raise SystemExit("--max-types must be >= --min-types")
+    if args.max_cycle_edges < 0:
+        raise SystemExit("--max-cycle-edges must be >= 0")
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        queries_per_dtd=args.queries_per_dtd,
+        min_types=args.min_types,
+        max_types=args.max_types,
+        max_cycle_edges=args.max_cycle_edges,
+        document=DocumentSpec(x_l=args.x_l, x_r=args.x_r, max_elements=args.elements),
+        shrink=not args.no_shrink,
+        corpus_dir=args.save_failures,
+    )
+    report = run_fuzz(config, engines)
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -241,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "answer": _cmd_answer,
         "experiment": _cmd_experiment,
         "diff": _cmd_diff,
+        "generate": _cmd_generate,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

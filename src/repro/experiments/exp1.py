@@ -27,6 +27,7 @@ from repro.experiments.harness import (
     format_table,
     measure_query,
     parse_backend_arg,
+    parse_int_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -124,11 +125,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 12 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
     backend = parse_backend_arg(argv)
+    seed = parse_int_arg(argv, "--seed", 11)
+    elements = parse_int_arg(argv, "--elements")
     quick = "--quick" in argv
     if quick:
-        rows = run(max_elements=1500, xl_values=(8, 12), xr_values=(4, 8), backend=backend)
+        rows = run(
+            max_elements=elements or 1500,
+            xl_values=(8, 12),
+            xr_values=(4, 8),
+            seed=seed,
+            backend=backend,
+        )
     else:
-        rows = run(backend=backend)
+        rows = run(max_elements=elements, seed=seed, backend=backend)
     print("Exp-1 (Fig. 12): Qa-Qd over the cross-cycle DTD")
     print(summarize(rows))
     return 0

@@ -33,6 +33,7 @@ from repro.experiments.harness import (
     format_table,
     measure_query,
     parse_backend_arg,
+    parse_int_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -153,11 +154,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 13 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
     backend = parse_backend_arg(argv)
+    seed = parse_int_arg(argv, "--seed", 23)
+    elements = parse_int_arg(argv, "--elements")
     quick = "--quick" in argv
     if quick:
-        rows = run(max_elements=1500, selected_sizes=(100, 1000), backend=backend)
+        rows = run(
+            max_elements=elements or 1500,
+            selected_sizes=(100, 1000),
+            seed=seed,
+            backend=backend,
+        )
     else:
-        rows = run(backend=backend)
+        rows = run(max_elements=elements, seed=seed, backend=backend)
     print("Exp-2 (Fig. 13): pushing selections into the LFP operator")
     print(summarize(rows))
     return 0

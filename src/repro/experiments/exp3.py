@@ -22,6 +22,7 @@ from repro.experiments.harness import (
     format_table,
     measure_query,
     parse_backend_arg,
+    parse_int_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -89,11 +90,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 14 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
     backend = parse_backend_arg(argv)
+    seed = parse_int_arg(argv, "--seed", 5)
+    elements = parse_int_arg(argv, "--elements")
     quick = "--quick" in argv
     if quick:
-        rows = run(sizes=(1000, 2000), backend=backend)
+        rows = run(sizes=(elements,) if elements else (1000, 2000), seed=seed, backend=backend)
     else:
-        rows = run(backend=backend)
+        rows = run(sizes=(elements,) if elements else None, seed=seed, backend=backend)
     print("Exp-3 (Fig. 14): scalability of a//d over the cross-cycle DTD")
     print(summarize(rows))
     return 0

@@ -27,6 +27,7 @@ from repro.experiments.harness import (
     format_table,
     measure_query,
     parse_backend_arg,
+    parse_int_arg,
 )
 from repro.shredding.shredder import shred_document
 from repro.workloads.datasets import DatasetSpec, scaled_elements
@@ -163,15 +164,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point: print the Fig. 16 and Fig. 17 series."""
     argv = list(sys.argv[1:] if argv is None else argv)
     backend = parse_backend_arg(argv)
+    bioml_seed = parse_int_arg(argv, "--seed", 31)
+    # One --seed flag steers both halves; GedML keeps its offset so the two
+    # documents stay distinct, as in the seeded defaults.
+    gedml_seed = bioml_seed + 6
+    elements = parse_int_arg(argv, "--elements")
     quick = "--quick" in argv
     if quick:
-        bioml_rows = run_bioml(max_elements=2000, backend=backend)
+        bioml_rows = run_bioml(max_elements=elements or 2000, seed=bioml_seed, backend=backend)
         gedml_rows = run_gedml(
-            max_elements=2000, xl_values=(13,), xr_values=(6,), backend=backend
+            max_elements=elements or 2000,
+            xl_values=(13,),
+            xr_values=(6,),
+            seed=gedml_seed,
+            backend=backend,
         )
     else:
-        bioml_rows = run_bioml(backend=backend)
-        gedml_rows = run_gedml(backend=backend)
+        bioml_rows = run_bioml(max_elements=elements, seed=bioml_seed, backend=backend)
+        gedml_rows = run_gedml(max_elements=elements, seed=gedml_seed, backend=backend)
     print("Exp-4a (Fig. 16): BIOML cases of Table 4")
     print(summarize(bioml_rows))
     print()

@@ -33,6 +33,7 @@ __all__ = [
     "measure_query",
     "format_table",
     "parse_backend_arg",
+    "parse_int_arg",
 ]
 
 
@@ -175,6 +176,39 @@ def parse_backend_arg(argv: List[str], default: str = "memory") -> str:
         known = ", ".join(backend_names())
         raise SystemExit(f"unknown backend {backend!r} (known: {known})")
     return backend
+
+
+def parse_int_arg(argv: List[str], flag: str, default: Optional[int] = None) -> Optional[int]:
+    """Extract ``<flag> N`` / ``<flag>=N`` from an argv list (like the backend axis).
+
+    Used for the reproducibility knobs (``--seed``, ``--elements``) the CLI
+    forwards to the experiment mains.  Recognised tokens are removed from
+    ``argv`` in place; an absent flag yields ``default``.
+    """
+    value = default
+    remaining: List[str] = []
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        raw: Optional[str] = None
+        if token == flag:
+            if index + 1 >= len(argv):
+                raise SystemExit(f"{flag} requires a value")
+            raw = argv[index + 1]
+            index += 2
+        elif token.startswith(flag + "="):
+            raw = token.split("=", 1)[1]
+            index += 1
+        else:
+            remaining.append(token)
+            index += 1
+            continue
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SystemExit(f"{flag} expects an integer, got {raw!r}") from None
+    argv[:] = remaining
+    return value
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -1,0 +1,59 @@
+"""Randomized workload generation and cross-engine differential fuzzing.
+
+The paper's central invariant — ``Q(T) = Q'(tau_d(T))`` for every XPath
+query over a (possibly recursive) DTD — is checked by the rest of the test
+suite against a handful of hand-written DTDs and two dozen fixed workload
+queries.  This package turns the invariant into an *unbounded* test oracle:
+
+* :class:`~repro.fuzz.dtd_gen.RandomDTDGenerator` produces seeded random
+  DTDs with controlled recursion (back edges along ancestor chains, so the
+  number of injected cycles is a knob, not an accident);
+* :class:`~repro.fuzz.xpath_gen.RandomXPathGenerator` emits schema-guided
+  queries — child/descendant steps follow the DTD graph, predicates and
+  ``text() = c`` comparisons target declared text types — so generated
+  queries always parse and resolve;
+* :class:`~repro.fuzz.oracle.DifferentialOracle` answers each generated
+  (DTD, document, query) triple on every engine — the direct XPath
+  evaluator, the in-memory engine under all descendant strategies and
+  optimisation settings, and SQLite — and reports any disagreement;
+* :func:`~repro.fuzz.shrink.shrink_case` reduces a failing triple to a
+  minimal repro (smaller document, shorter query, fewer element types);
+* :func:`~repro.fuzz.harness.run_fuzz` drives the whole loop from one seed
+  and budget, optionally writing failures to a replayable JSON corpus.
+
+Everything is deterministic per seed: the same ``FuzzConfig`` always
+produces the same cases, so a failure found in CI replays locally.
+"""
+
+from repro.fuzz.cases import DocumentSpec, FuzzCase
+from repro.fuzz.dtd_gen import DTDGenConfig, RandomDTDGenerator
+from repro.fuzz.harness import FuzzConfig, FuzzFailure, FuzzReport, replay_corpus, run_fuzz
+from repro.fuzz.oracle import (
+    CaseOutcome,
+    DifferentialOracle,
+    EngineDisagreement,
+    EngineSpec,
+    default_engines,
+)
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.xpath_gen import RandomXPathGenerator, XPathGenConfig
+
+__all__ = [
+    "DTDGenConfig",
+    "RandomDTDGenerator",
+    "XPathGenConfig",
+    "RandomXPathGenerator",
+    "DocumentSpec",
+    "FuzzCase",
+    "EngineSpec",
+    "EngineDisagreement",
+    "CaseOutcome",
+    "DifferentialOracle",
+    "default_engines",
+    "shrink_case",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "replay_corpus",
+]

@@ -1,0 +1,158 @@
+"""Serializable fuzz cases: one (DTD, document spec, query) triple.
+
+A :class:`FuzzCase` is fully self-describing — the DTD travels as grammar
+text (the syntax of :func:`repro.dtd.parser.parse_dtd` / ``DTD.to_text``)
+and the document as a :class:`DocumentSpec` (the ``XMLGenerator`` knobs),
+so a case serialized to JSON replays bit-identically anywhere.  Failing
+cases saved by the harness (``repro fuzz --save-failures``) and the
+checked-in regression corpus under ``tests/fuzz/corpus/`` both use this
+format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path as FilePath
+from typing import Dict, Union
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.xmltree.generator import generate_document
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["DocumentSpec", "FuzzCase", "CASE_FORMAT_VERSION"]
+
+# Bumped if the JSON layout ever changes incompatibly.
+CASE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """The generator knobs that reproduce one document from a DTD."""
+
+    x_l: int = 8
+    x_r: int = 3
+    max_elements: int = 150
+    seed: int = 0
+    distinct_values: int = 4
+
+    def generate(self, dtd: DTD) -> XMLTree:
+        """Materialise the document this spec describes."""
+        return generate_document(
+            dtd,
+            x_l=self.x_l,
+            x_r=self.x_r,
+            max_elements=self.max_elements,
+            seed=self.seed,
+            distinct_values=self.distinct_values,
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential scenario: a DTD, a document recipe and a query."""
+
+    label: str
+    dtd_text: str
+    query: str
+    document: DocumentSpec = field(default_factory=DocumentSpec)
+
+    # -- materialisation --------------------------------------------------------
+
+    def dtd(self) -> DTD:
+        """Parse the DTD text back into a :class:`DTD`."""
+        return parse_dtd(self.dtd_text, name=self.label)
+
+    def tree(self) -> XMLTree:
+        """Generate the case's document."""
+        return self.document.generate(self.dtd())
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "format": CASE_FORMAT_VERSION,
+            "label": self.label,
+            "dtd": self.dtd_text,
+            "query": self.query,
+            "document": asdict(self.document),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzCase":
+        """Rebuild a case from :meth:`to_dict` output.
+
+        Malformed input (hand-edited or version-skewed corpus files) raises
+        :class:`ValueError` with a description, never a raw KeyError.
+        """
+        version = data.get("format", CASE_FORMAT_VERSION)
+        if version != CASE_FORMAT_VERSION:
+            raise ValueError(f"unsupported fuzz-case format {version!r}")
+        missing = [key for key in ("label", "dtd", "query") if key not in data]
+        if missing:
+            raise ValueError(f"fuzz case is missing field(s) {missing}")
+        document_data = data.get("document", {})
+        if not isinstance(document_data, dict):
+            raise ValueError(f"fuzz-case document must be an object, got {document_data!r}")
+        known = set(DocumentSpec.__dataclass_fields__)
+        unknown = sorted(set(document_data) - known)
+        if unknown:
+            raise ValueError(f"fuzz-case document has unknown knob(s) {unknown}")
+        wrong_type = sorted(
+            key
+            for key, value in document_data.items()
+            if not isinstance(value, int) or isinstance(value, bool)
+        )
+        if wrong_type:
+            # A string seed would still *run* (random.Random accepts it) but
+            # produce a different document, silently breaking replay fidelity.
+            raise ValueError(f"fuzz-case document knob(s) {wrong_type} must be integers")
+        return cls(
+            label=str(data["label"]),
+            dtd_text=str(data["dtd"]),
+            query=str(data["query"]),
+            document=DocumentSpec(**document_data),
+        )
+
+    def to_json(self) -> str:
+        """Serialize as pretty-printed JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        """Parse a case from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, FilePath]) -> None:
+        """Write the case to ``path`` as JSON."""
+        FilePath(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, FilePath]) -> "FuzzCase":
+        """Read a case back from a JSON file."""
+        return cls.from_json(FilePath(path).read_text(encoding="utf-8"))
+
+    # -- integration ------------------------------------------------------------
+
+    def to_differential_spec(self, **overrides: object):
+        """View this case as a backend-level :class:`DifferentialSpec`.
+
+        This is the bridge into :mod:`repro.backends.differential`: the
+        generated case joins the fixed paper workloads in the same
+        backend-vs-backend sweep.
+        """
+        from repro.backends.differential import DifferentialSpec
+
+        spec = DifferentialSpec(
+            label=self.label,
+            dtd=self.dtd(),
+            queries={self.label: self.query},
+            x_l=self.document.x_l,
+            x_r=self.document.x_r,
+            seed=self.document.seed,
+            max_elements=self.document.max_elements,
+            distinct_values=self.document.distinct_values,
+        )
+        return replace(spec, **overrides) if overrides else spec

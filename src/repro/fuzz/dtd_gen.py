@@ -1,0 +1,220 @@
+"""Seeded random DTDs with controlled recursion.
+
+The generator builds a DTD in three layers:
+
+1. a random *skeleton tree* over ``n`` element types rooted at ``e0`` —
+   every non-root type gets exactly one tree parent, so the base graph is
+   acyclic and every type is reachable from the root;
+2. ``cycle_edges`` *back edges* from a type to one of its skeleton
+   ancestors (or itself, a self-loop).  Each back edge closes at least one
+   simple cycle, so recursion is a knob: ``cycle_edges=0`` yields a
+   non-recursive DTD, larger values yield overlapping cycles and larger
+   strongly connected components;
+3. ``extra_edges`` *cross edges* between unrelated types, added only when
+   the target does not already reach the source, so they enrich the DAG
+   shape without silently changing the cycle count.
+
+Termination of document generation (and hence conformance of generated
+documents) is guaranteed by construction: every edge into a type that has
+children of its own is ``*`` or ``?`` (nullable), so once the generator's
+level limit is reached every repetition collapses to zero and only finite
+chains of required *leaf* children remain.  Required (``A``) and ``+``
+modalities are used for leaf children only, and a fraction of the starred
+children are grouped into ``(A | B)*`` choices so the full content-model
+grammar is exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.dtd.model import DTD, ContentModel, choice, empty, opt, plus, ref, seq, star
+
+__all__ = ["DTDGenConfig", "RandomDTDGenerator", "generate_dtd"]
+
+
+@dataclass(frozen=True)
+class DTDGenConfig:
+    """Shape knobs for :class:`RandomDTDGenerator`.
+
+    Attributes
+    ----------
+    seed:
+        RNG seed; the same config always produces the same DTD.
+    min_types / max_types:
+        Bounds on the number of element types (root included).
+    cycle_edges:
+        Number of back edges to inject.  Every back edge runs from a type
+        to one of its skeleton ancestors, so each one closes at least one
+        simple cycle; ``0`` produces a non-recursive DTD.
+    extra_edges:
+        Cross edges added between unrelated types (cycle-neutral: an edge
+        is only added when its target does not already reach its source).
+    text_probability:
+        Chance that a non-leaf type carries a PCDATA value (leaf types are
+        always text types, so ``text() = c`` predicates always have
+        targets).
+    choice_probability:
+        Chance that two starred children are grouped as ``(A | B)*``
+        instead of ``A*, B*``.
+    optional_probability:
+        Chance that a nullable child edge uses ``?`` instead of ``*``.
+    required_leaf_probability:
+        Chance that a leaf child is required (``A`` or ``A+``) instead of
+        nullable.
+    """
+
+    seed: int = 0
+    min_types: int = 3
+    max_types: int = 7
+    cycle_edges: int = 2
+    extra_edges: int = 1
+    text_probability: float = 0.4
+    choice_probability: float = 0.3
+    optional_probability: float = 0.25
+    required_leaf_probability: float = 0.4
+
+
+class RandomDTDGenerator:
+    """Generate random DTDs from a :class:`DTDGenConfig`.
+
+    Example
+    -------
+    >>> dtd = RandomDTDGenerator(DTDGenConfig(seed=7, cycle_edges=2)).generate()
+    >>> dtd.is_recursive()
+    True
+    """
+
+    def __init__(self, config: DTDGenConfig) -> None:
+        if config.min_types < 2:
+            raise ValueError("a random DTD needs at least 2 element types")
+        if config.max_types < config.min_types:
+            raise ValueError("max_types must be >= min_types")
+        self._config = config
+
+    def generate(self) -> DTD:
+        """Generate one DTD; deterministic for a fixed config."""
+        config = self._config
+        rng = random.Random(config.seed)
+        count = rng.randint(config.min_types, config.max_types)
+        names = [f"e{i}" for i in range(count)]
+
+        # 1. Skeleton tree: every non-root type hangs off an earlier type.
+        parent_of: Dict[str, str] = {}
+        for index in range(1, count):
+            parent_of[names[index]] = rng.choice(names[:index])
+        children_of: Dict[str, List[str]] = {name: [] for name in names}
+        for child, parent in parent_of.items():
+            children_of[parent].append(child)
+        leaves = {name for name in names if not children_of[name]}
+
+        # Edge lists per parent: (child, modality) with modality one of
+        # "req", "plus", "opt", "star".  Containers only ever get nullable
+        # edges so recursion always has an exit.
+        edges: Dict[str, List[Tuple[str, str]]] = {name: [] for name in names}
+        edge_set: Set[Tuple[str, str]] = set()
+
+        def add_edge(parent: str, child: str, modality: str) -> bool:
+            if (parent, child) in edge_set:
+                return False
+            edges[parent].append((child, modality))
+            edge_set.add((parent, child))
+            return True
+
+        def nullable_modality() -> str:
+            return "opt" if rng.random() < config.optional_probability else "star"
+
+        for parent in names:
+            for child in children_of[parent]:
+                if child in leaves and rng.random() < config.required_leaf_probability:
+                    add_edge(parent, child, rng.choice(["req", "plus"]))
+                else:
+                    add_edge(parent, child, nullable_modality())
+
+        # 2. Back edges: child -> skeleton ancestor (or itself) closes a cycle.
+        def ancestors_or_self(name: str) -> List[str]:
+            chain = [name]
+            while chain[-1] in parent_of:
+                chain.append(parent_of[chain[-1]])
+            return chain
+
+        injected = 0
+        for _ in range(config.cycle_edges * 10):
+            if injected >= config.cycle_edges:
+                break
+            source = rng.choice(names)
+            target = rng.choice(ancestors_or_self(source))
+            if add_edge(source, target, nullable_modality()):
+                injected += 1
+        if config.cycle_edges > 0 and injected == 0:
+            # Every candidate edge already existed; a root self-loop always works.
+            add_edge(names[0], names[0], "star")
+
+        # 3. Cross edges, only where they cannot close an extra cycle.
+        successors: Dict[str, Set[str]] = {name: set() for name in names}
+        for parent, child in edge_set:
+            successors[parent].add(child)
+
+        def reaches(source: str, target: str) -> bool:
+            seen: Set[str] = set()
+            frontier = [source]
+            while frontier:
+                node = frontier.pop()
+                if node == target:
+                    return True
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(successors[node])
+            return False
+
+        crossed = 0
+        for _ in range(config.extra_edges * 10):
+            if crossed >= config.extra_edges:
+                break
+            source, target = rng.choice(names), rng.choice(names)
+            if source == target or (source, target) in edge_set:
+                continue
+            if reaches(target, source):
+                continue
+            add_edge(source, target, nullable_modality())
+            successors[source].add(target)
+            crossed += 1
+
+        # Assemble content models; leaves keep EMPTY content.
+        productions: Dict[str, ContentModel] = {}
+        for name in names:
+            productions[name] = self._build_model(rng, edges[name])
+        text_types = set(leaves)
+        for name in names:
+            if name not in leaves and rng.random() < config.text_probability:
+                text_types.add(name)
+        return DTD(names[0], productions, text_types, name=f"fuzz-{config.seed}")
+
+    def _build_model(
+        self, rng: random.Random, child_edges: List[Tuple[str, str]]
+    ) -> ContentModel:
+        if not child_edges:
+            return empty()
+        parts: List[ContentModel] = []
+        starred = [child for child, modality in child_edges if modality == "star"]
+        rng.shuffle(starred)
+        while len(starred) >= 2 and rng.random() < self._config.choice_probability:
+            parts.append(star(choice(starred.pop(), starred.pop())))
+        parts.extend(star(child) for child in starred)
+        for child, modality in child_edges:
+            if modality == "req":
+                parts.append(ref(child))
+            elif modality == "plus":
+                parts.append(plus(child))
+            elif modality == "opt":
+                parts.append(opt(child))
+        rng.shuffle(parts)
+        return seq(*parts)
+
+
+def generate_dtd(seed: int, **overrides: object) -> DTD:
+    """Convenience wrapper: generate one DTD from ``seed`` plus config overrides."""
+    return RandomDTDGenerator(DTDGenConfig(seed=seed, **overrides)).generate()  # type: ignore[arg-type]

@@ -1,0 +1,197 @@
+"""The fuzzing loop: generate cases, run the oracle, shrink and save failures.
+
+:func:`run_fuzz` is the engine behind ``repro fuzz``: from one master seed
+it derives a deterministic stream of (DTD, query, document) cases, answers
+each on every engine of the :class:`~repro.fuzz.oracle.DifferentialOracle`,
+auto-shrinks any disagreement to a minimal repro and (optionally) writes
+both the original and the shrunk case into a JSON corpus directory.
+Replaying a corpus (``repro fuzz --replay``, or the checked-in regression
+corpus under ``tests/fuzz/corpus/``) re-runs saved cases through the same
+oracle.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path as FilePath
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.fuzz.cases import DocumentSpec, FuzzCase
+from repro.fuzz.dtd_gen import DTDGenConfig, RandomDTDGenerator
+from repro.fuzz.oracle import CaseOutcome, DifferentialOracle, EngineSpec
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.xpath_gen import RandomXPathGenerator, XPathGenConfig
+
+__all__ = ["FuzzConfig", "FuzzFailure", "FuzzReport", "run_fuzz", "replay_corpus"]
+
+_SEED_SPACE = 2**32
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing run.
+
+    ``budget`` counts *cases* (query/document pairs); every DTD serves
+    ``queries_per_dtd`` cases before a fresh one is generated, so a default
+    run sweeps both many schemas and many queries per schema.
+    """
+
+    seed: int = 0
+    budget: int = 100
+    queries_per_dtd: int = 4
+    min_types: int = 3
+    max_types: int = 7
+    max_cycle_edges: int = 3
+    document: DocumentSpec = field(default_factory=DocumentSpec)
+    shrink: bool = True
+    corpus_dir: Optional[str] = None
+
+
+@dataclass
+class FuzzFailure:
+    """One disagreement: the original case, its shrunk repro, the verdict."""
+
+    original: FuzzCase
+    shrunk: FuzzCase
+    outcome: CaseOutcome
+    saved_paths: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable failure report (shrunk repro first)."""
+        lines = [self.outcome.describe()]
+        lines.append(f"  shrunk from: query {self.original.query!r}")
+        if self.saved_paths:
+            lines.append(f"  saved: {', '.join(self.saved_paths)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """The result of one :func:`run_fuzz` sweep."""
+
+    seed: int
+    cases_run: int
+    engines: List[str]
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every case agreed on every engine."""
+        return not self.failures
+
+    def describe(self) -> str:
+        """Multi-line summary (deterministic apart from the timing line)."""
+        lines = [
+            f"fuzz: seed={self.seed} cases={self.cases_run} "
+            f"engines={len(self.engines)} disagreements={len(self.failures)}"
+        ]
+        for failure in self.failures:
+            lines.append(failure.describe())
+        lines.append(f"elapsed: {self.elapsed_seconds:.2f}s")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    config: Optional[FuzzConfig] = None,
+    engines: Optional[Sequence[EngineSpec]] = None,
+    on_case: Optional[Callable[[CaseOutcome], None]] = None,
+) -> FuzzReport:
+    """Run one seeded differential-fuzzing sweep.
+
+    Parameters
+    ----------
+    config:
+        The run's knobs (defaults to :class:`FuzzConfig`).
+    engines:
+        Engine grid override; defaults to
+        :func:`~repro.fuzz.oracle.default_engines`.
+    on_case:
+        Optional per-case callback (progress reporting).
+    """
+    config = config or FuzzConfig()
+    if config.queries_per_dtd < 1:
+        raise ValueError("queries_per_dtd must be >= 1")
+    oracle = DifferentialOracle(engines)
+    rng = random.Random(config.seed)
+    corpus_dir: Optional[FilePath] = None
+    if config.corpus_dir is not None:
+        corpus_dir = FilePath(config.corpus_dir)
+        corpus_dir.mkdir(parents=True, exist_ok=True)
+
+    report = FuzzReport(
+        seed=config.seed,
+        cases_run=0,
+        engines=[engine.name for engine in oracle.engines],
+    )
+    start = time.perf_counter()
+    while report.cases_run < config.budget:
+        dtd_config = DTDGenConfig(
+            seed=rng.randrange(_SEED_SPACE),
+            min_types=config.min_types,
+            max_types=config.max_types,
+            cycle_edges=rng.randint(0, config.max_cycle_edges),
+        )
+        dtd = RandomDTDGenerator(dtd_config).generate()
+        query_generator = RandomXPathGenerator(
+            dtd, XPathGenConfig(seed=rng.randrange(_SEED_SPACE))
+        )
+        for _ in range(config.queries_per_dtd):
+            if report.cases_run >= config.budget:
+                break
+            case = FuzzCase(
+                label=f"fuzz-{config.seed}-{report.cases_run:05d}",
+                dtd_text=dtd.to_text(),
+                query=query_generator.generate(),
+                document=replace(config.document, seed=rng.randrange(_SEED_SPACE)),
+            )
+            outcome = oracle.run(case)
+            report.cases_run += 1
+            if on_case is not None:
+                on_case(outcome)
+            if outcome.ok:
+                continue
+            shrunk = case
+            final_outcome = outcome
+            if config.shrink:
+                # Shrink against only the engines that disagreed (usually a
+                # small subset of the grid), then confirm the shrunk repro
+                # on the full grid for the report.
+                failing_names = {d.engine for d in outcome.disagreements}
+                focused = [e for e in oracle.engines if e.name in failing_names]
+                shrink_oracle = DifferentialOracle(focused) if focused else oracle
+                shrunk = shrink_case(case, lambda c: not shrink_oracle.run(c).ok)
+                if shrunk is not case:
+                    final_outcome = oracle.run(shrunk)
+            failure = FuzzFailure(original=case, shrunk=shrunk, outcome=final_outcome)
+            if corpus_dir is not None:
+                for suffix, saved_case in (("", case), ("-shrunk", shrunk)):
+                    if suffix and saved_case is case:
+                        continue
+                    path = corpus_dir / f"{case.label}{suffix}.json"
+                    saved_case.save(path)
+                    failure.saved_paths.append(str(path))
+            report.failures.append(failure)
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def replay_corpus(
+    path: Union[str, FilePath],
+    engines: Optional[Sequence[EngineSpec]] = None,
+) -> List[CaseOutcome]:
+    """Re-run saved cases (one ``.json`` file or a directory of them).
+
+    Returns one :class:`CaseOutcome` per case, in file-name order.
+    """
+    root = FilePath(path)
+    if root.is_dir():
+        files = sorted(root.glob("*.json"))
+    else:
+        files = [root]
+    if not files:
+        raise FileNotFoundError(f"no fuzz cases found under {root}")
+    oracle = DifferentialOracle(engines)
+    return [oracle.run(FuzzCase.load(file)) for file in files]

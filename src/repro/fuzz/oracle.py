@@ -1,0 +1,216 @@
+"""The cross-engine differential oracle.
+
+For one :class:`~repro.fuzz.cases.FuzzCase` the oracle computes the answer
+set of the query on every configured *engine* and compares each against the
+reference — the direct XPath evaluator over the XML tree, which implements
+the paper's ``Q(T)`` semantics directly.  An engine is one point on the
+(backend × descendant strategy × optimisation) grid:
+
+* ``memory`` engines run the translated program on the in-memory
+  relational engine, under CycleEX, CycleE or SQLGen-R, each with the
+  optimisations off (``baseline``) or fully on (selection pushing +
+  small seeds, ``opt``);
+* ``sqlite`` engines render the same programs in the SQLITE dialect and
+  run them for real (``WITH RECURSIVE`` and all).
+
+Every engine must produce exactly the evaluator's node set — any missing
+or extra node id (or an engine crash) is a disagreement, and the case is a
+bug repro.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.backends import create_backend
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.optimize import baseline_options, push_selection_options
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.fuzz.cases import FuzzCase
+from repro.shredding.shredder import shred_document
+from repro.xpath.evaluator import evaluate_xpath
+from repro.xpath.parser import parse_xpath
+
+__all__ = [
+    "EngineSpec",
+    "EngineDisagreement",
+    "CaseOutcome",
+    "DifferentialOracle",
+    "default_engines",
+]
+
+REFERENCE_ENGINE = "evaluator"
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One engine of the oracle: backend + strategy + optimisation level."""
+
+    backend: str
+    strategy: DescendantStrategy
+    optimized: bool = True
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``memory/cycleex/opt``."""
+        level = "opt" if self.optimized else "baseline"
+        return f"{self.backend}/{self.strategy.value}/{level}"
+
+    def options(self) -> TranslationOptions:
+        """The lowering options this engine translates with."""
+        return push_selection_options() if self.optimized else baseline_options()
+
+
+def default_engines(
+    backends: Optional[Sequence[str]] = None,
+    strategies: Optional[Sequence[DescendantStrategy]] = None,
+) -> List[EngineSpec]:
+    """The default grid: memory × strategies × {baseline, opt}, plus SQLite.
+
+    SQLite runs each strategy once (optimised) — the dialect rendering and
+    real ``WITH RECURSIVE`` execution are what it adds; the optimisation
+    axis is already covered in memory.
+    """
+    backends = list(backends or ("memory", "sqlite"))
+    strategies = list(strategies or DescendantStrategy)
+    engines: List[EngineSpec] = []
+    if "memory" in backends:
+        for strategy in strategies:
+            engines.append(EngineSpec("memory", strategy, optimized=False))
+            engines.append(EngineSpec("memory", strategy, optimized=True))
+    for backend in backends:
+        if backend == "memory":
+            continue
+        for strategy in strategies:
+            engines.append(EngineSpec(backend, strategy, optimized=True))
+    return engines
+
+
+@dataclass(frozen=True)
+class EngineDisagreement:
+    """One engine's deviation from the reference answer set."""
+
+    engine: str
+    missing: Tuple[int, ...] = ()
+    extra: Tuple[int, ...] = ()
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.error is not None:
+            return f"{self.engine}: ERROR {self.error}"
+        return (
+            f"{self.engine}: missing={list(self.missing)[:5]} "
+            f"extra={list(self.extra)[:5]}"
+        )
+
+
+@dataclass
+class CaseOutcome:
+    """The oracle's verdict on one case."""
+
+    case: FuzzCase
+    expected: FrozenSet[int] = frozenset()
+    engine_results: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    disagreements: List[EngineDisagreement] = field(default_factory=list)
+    setup_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every engine matched the evaluator."""
+        return not self.disagreements and self.setup_error is None
+
+    def describe(self) -> str:
+        """Multi-line summary naming every disagreeing engine."""
+        if self.ok:
+            return f"OK       {self.case.label}: {len(self.expected)} answer node(s)"
+        lines = [f"MISMATCH {self.case.label}: query {self.case.query!r}"]
+        if self.setup_error is not None:
+            lines.append(f"  setup: ERROR {self.setup_error}")
+        lines.extend(f"  {d.describe()}" for d in self.disagreements)
+        return "\n".join(lines)
+
+
+class DifferentialOracle:
+    """Run cases through every engine and compare against the evaluator.
+
+    Example
+    -------
+    >>> from repro.fuzz.cases import FuzzCase
+    >>> from repro.dtd.samples import cross_dtd
+    >>> case = FuzzCase("demo", cross_dtd().to_text(), "a//d")
+    >>> DifferentialOracle().run(case).ok
+    True
+    """
+
+    def __init__(self, engines: Optional[Sequence[EngineSpec]] = None) -> None:
+        self._engines = list(engines or default_engines())
+
+    @property
+    def engines(self) -> List[EngineSpec]:
+        """The engine grid this oracle compares."""
+        return list(self._engines)
+
+    def run(self, case: FuzzCase) -> CaseOutcome:
+        """Answer ``case`` on every engine; collect disagreements."""
+        outcome = CaseOutcome(case=case)
+        try:
+            dtd = case.dtd()
+            tree = case.tree()
+            query = parse_xpath(case.query)
+            outcome.expected = frozenset(
+                node.node_id for node in evaluate_xpath(tree, query)
+            )
+            shredded = shred_document(tree, dtd)
+        except Exception:
+            outcome.setup_error = traceback.format_exc(limit=3).strip()
+            return outcome
+
+        backends: Dict[str, object] = {}
+        # Engines sharing (strategy, optimisation) run the very same program
+        # (e.g. memory/opt and sqlite/opt), so translate each point once.
+        programs: Dict[Tuple[DescendantStrategy, bool], object] = {}
+        try:
+            for engine in self._engines:
+                try:
+                    backend = backends.get(engine.backend)
+                    if backend is None:
+                        backend = create_backend(engine.backend, shredded.database)
+                        backends[engine.backend] = backend
+                    program_key = (engine.strategy, engine.optimized)
+                    program = programs.get(program_key)
+                    if program is None:
+                        translator = XPathToSQLTranslator(
+                            dtd, strategy=engine.strategy, options=engine.options()
+                        )
+                        program = translator.translate(query).program
+                        programs[program_key] = program
+                    result = backend.execute(program)  # type: ignore[attr-defined]
+                    actual = frozenset(
+                        node.node_id
+                        for node in shredded.nodes_for_ids(result.node_ids())
+                    )
+                except Exception:
+                    outcome.disagreements.append(
+                        EngineDisagreement(
+                            engine=engine.name,
+                            error=traceback.format_exc(limit=3).strip(),
+                        )
+                    )
+                    continue
+                outcome.engine_results[engine.name] = actual
+                if actual != outcome.expected:
+                    outcome.disagreements.append(
+                        EngineDisagreement(
+                            engine=engine.name,
+                            missing=tuple(sorted(outcome.expected - actual)),
+                            extra=tuple(sorted(actual - outcome.expected)),
+                        )
+                    )
+        finally:
+            for backend in backends.values():
+                backend.close()  # type: ignore[attr-defined]
+        return outcome

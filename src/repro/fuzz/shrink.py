@@ -1,0 +1,174 @@
+"""Auto-shrinking of failing fuzz cases to minimal repros.
+
+Classic greedy delta debugging over the three components of a case, in
+cheapest-first order:
+
+1. **Document** — halve the element budget, lower ``X_L``/``X_R``; smaller
+   documents also make every subsequent oracle re-run faster;
+2. **Query** — one-point AST reductions: drop a qualifier, keep only one
+   side of a ``/``, union, ``and``/``or``, strip ``not`` or ``//``;
+3. **DTD** — drop element types the (already shrunk) query does not
+   mention, pruning their references from every content model.
+
+Each accepted candidate strictly decreases the case size (document budget
++ query AST size + element-type count), so the loop terminates; the
+``max_attempts`` bound caps oracle re-runs on pathological cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List
+
+from repro.fuzz.cases import FuzzCase
+from repro.xpath.ast import (
+    And,
+    Descendant,
+    Not,
+    Or,
+    Path,
+    PathQual,
+    Qualified,
+    Qualifier,
+    Slash,
+    Union,
+)
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["shrink_case", "path_reductions"]
+
+
+def path_reductions(path: Path) -> Iterator[Path]:
+    """Yield strictly smaller one-point reductions of ``path``.
+
+    Aggressive reductions (dropping whole subtrees) come before local ones,
+    so greedy shrinking takes big steps first.
+    """
+    if isinstance(path, Slash):
+        yield path.left
+        yield path.right
+        for left in path_reductions(path.left):
+            yield Slash(left, path.right)
+        for right in path_reductions(path.right):
+            yield Slash(path.left, right)
+    elif isinstance(path, Descendant):
+        yield path.inner
+        for inner in path_reductions(path.inner):
+            yield Descendant(inner)
+    elif isinstance(path, Union):
+        yield path.left
+        yield path.right
+        for left in path_reductions(path.left):
+            yield Union(left, path.right)
+        for right in path_reductions(path.right):
+            yield Union(path.left, right)
+    elif isinstance(path, Qualified):
+        yield path.path
+        for qualifier in _qualifier_reductions(path.qualifier):
+            yield Qualified(path.path, qualifier)
+        for inner in path_reductions(path.path):
+            yield Qualified(inner, path.qualifier)
+
+
+def _qualifier_reductions(qualifier: Qualifier) -> Iterator[Qualifier]:
+    if isinstance(qualifier, Not):
+        yield qualifier.inner
+        for inner in _qualifier_reductions(qualifier.inner):
+            yield Not(inner)
+    elif isinstance(qualifier, (And, Or)):
+        yield qualifier.left
+        yield qualifier.right
+        for left in _qualifier_reductions(qualifier.left):
+            yield type(qualifier)(left, qualifier.right)
+        for right in _qualifier_reductions(qualifier.right):
+            yield type(qualifier)(qualifier.left, right)
+    elif isinstance(qualifier, PathQual):
+        for path in path_reductions(qualifier.path):
+            yield PathQual(path)
+
+
+def _document_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    document = case.document
+    if document.max_elements > 16:
+        yield replace(case, document=replace(document, max_elements=document.max_elements // 2))
+    if document.x_l > 2:
+        yield replace(case, document=replace(document, x_l=document.x_l - 1))
+    if document.x_r > 1:
+        yield replace(case, document=replace(document, x_r=document.x_r - 1))
+
+
+def _query_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    try:
+        parsed = parse_xpath(case.query)
+    except Exception:
+        return
+    seen = {case.query}
+    for reduced in path_reductions(parsed):
+        text = str(reduced)
+        if text in seen:
+            continue
+        seen.add(text)
+        try:
+            parse_xpath(text)  # reductions must stay in the concrete syntax
+        except Exception:
+            continue
+        yield replace(case, query=text)
+
+
+def _dtd_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    from repro.fuzz.xpath_gen import query_labels
+
+    try:
+        dtd = case.dtd()
+        needed = query_labels(parse_xpath(case.query)) | {dtd.root}
+    except Exception:
+        return
+    for element_type in dtd.element_types:
+        if element_type in needed:
+            continue
+        keep = [name for name in dtd.element_types if name != element_type]
+        try:
+            smaller = dtd.restricted_to(keep, name=dtd.name)
+        except Exception:
+            continue
+        yield replace(case, dtd_text=smaller.to_text())
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    yield from _document_candidates(case)
+    yield from _query_candidates(case)
+    yield from _dtd_candidates(case)
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing: Callable[[FuzzCase], bool],
+    max_attempts: int = 250,
+) -> FuzzCase:
+    """Greedily reduce ``case`` while ``failing`` keeps returning True.
+
+    ``failing`` is typically ``lambda c: not oracle.run(c).ok``.  The input
+    case is assumed to be failing; the returned case is failing and locally
+    minimal (no single candidate reduction still fails), unless the attempt
+    budget runs out first.
+    """
+    current = case
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            attempts += 1
+            try:
+                still_failing = failing(candidate)
+            except Exception:
+                still_failing = False
+            if still_failing:
+                current = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    if current is not case:
+        current = replace(current, label=f"{case.label}-shrunk")
+    return current

@@ -1,0 +1,220 @@
+"""Seeded random XPath queries that are valid for a given DTD.
+
+The generator is *schema guided*: it tracks the set of element types the
+partial query can currently denote and only extends it along the DTD graph
+— child steps pick from the union of the context types' children,
+descendant steps pick from the types reachable from the context, and
+``text() = c`` predicates target declared text types with values in the
+shape the document generator produces (``"<label>-<k>"``).  Generated
+queries therefore always parse, every label resolves against the DTD, and
+answers are frequently non-empty — which is what gives the differential
+oracle its bite.
+
+Covered grammar (Sect. 2.2): label and wildcard steps, ``/`` and ``//``,
+top-level unions, and qualifiers built from paths, text comparisons,
+``not``, ``and`` and ``or``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.dtd.model import DTD
+from repro.xpath.ast import Label, Path, Qualified, Qualifier
+
+__all__ = ["XPathGenConfig", "RandomXPathGenerator", "query_labels"]
+
+
+@dataclass(frozen=True)
+class XPathGenConfig:
+    """Shape knobs for :class:`RandomXPathGenerator`.
+
+    Attributes
+    ----------
+    seed:
+        RNG seed; the generator's query *stream* is deterministic for a
+        fixed seed and call order.
+    max_steps:
+        Maximum number of steps appended after the root label.
+    descendant_probability:
+        Chance a step uses ``//`` rather than ``/``.
+    wildcard_probability:
+        Chance a step is ``*`` instead of a concrete label.
+    predicate_probability:
+        Chance a qualifier is attached after each step.
+    union_probability:
+        Chance the query is a top-level union of two rooted paths.
+    max_predicate_depth:
+        Nesting bound for ``not``/``and``/``or`` combinations.
+    text_values:
+        Predicate constants are drawn as ``"<label>-<k>"`` with
+        ``k < text_values`` — matching the document generator's
+        ``distinct_values`` so selective predicates actually select.
+    """
+
+    seed: int = 0
+    max_steps: int = 3
+    descendant_probability: float = 0.4
+    wildcard_probability: float = 0.12
+    predicate_probability: float = 0.4
+    union_probability: float = 0.1
+    max_predicate_depth: int = 2
+    text_values: int = 4
+
+
+class RandomXPathGenerator:
+    """Generate a stream of random queries over one DTD.
+
+    Example
+    -------
+    >>> from repro.dtd.samples import cross_dtd
+    >>> generator = RandomXPathGenerator(cross_dtd(), XPathGenConfig(seed=1))
+    >>> query = generator.generate()
+    >>> query.startswith("a")
+    True
+    """
+
+    def __init__(self, dtd: DTD, config: Optional[XPathGenConfig] = None) -> None:
+        self._dtd = dtd
+        self._config = config or XPathGenConfig()
+        self._rng = random.Random(self._config.seed)
+
+    def generate(self) -> str:
+        """Generate the next query of the stream (a whole-document query)."""
+        query = self._rooted_path()
+        if self._rng.random() < self._config.union_probability:
+            query = f"{query} | {self._rooted_path()}"
+        return query
+
+    def queries(self, count: int) -> List[str]:
+        """Generate ``count`` queries."""
+        return [self.generate() for _ in range(count)]
+
+    # -- internals --------------------------------------------------------------
+
+    def _rooted_path(self) -> str:
+        """A path anchored at the DTD root, following the DTD graph."""
+        config, rng = self._config, self._rng
+        text = self._dtd.root
+        context: Set[str] = {self._dtd.root}
+        for _ in range(rng.randint(0, config.max_steps)):
+            step = self._step(context)
+            if step is None:
+                break
+            text += step
+            if rng.random() < config.predicate_probability:
+                predicate = self._predicate(context, config.max_predicate_depth)
+                if predicate:
+                    text += f"[{predicate}]"
+        return text
+
+    def _step(self, context: Set[str]) -> Optional[str]:
+        """Append one step, updating ``context`` in place; None when stuck."""
+        config, rng = self._config, self._rng
+        descendant = rng.random() < config.descendant_probability
+        if descendant:
+            candidates = sorted(context | self._reachable(context))
+        else:
+            candidates = sorted(self._children(context))
+        if not candidates:
+            return None
+        separator = "//" if descendant else "/"
+        if not descendant and rng.random() < config.wildcard_probability:
+            context.clear()
+            context.update(candidates)
+            return f"{separator}*"
+        label = rng.choice(candidates)
+        context.clear()
+        context.add(label)
+        return f"{separator}{label}"
+
+    def _children(self, context: Set[str]) -> Set[str]:
+        out: Set[str] = set()
+        for element_type in context:
+            out.update(self._dtd.children(element_type))
+        return out
+
+    def _reachable(self, context: Set[str]) -> Set[str]:
+        out: Set[str] = set()
+        for element_type in context:
+            out.update(self._dtd.reachable_from(element_type))
+        return out
+
+    def _predicate(self, context: Set[str], depth: int) -> str:
+        """A qualifier valid at ``context`` nodes (empty string when stuck)."""
+        rng = self._rng
+        kinds = ["path", "path", "text", "not", "and", "or"]
+        if depth <= 0:
+            kinds = ["path", "path", "text"]
+        kind = rng.choice(kinds)
+        if kind == "text":
+            text_context = sorted(set(context) & self._dtd.text_types)
+            if not text_context:
+                kind = "path"
+            else:
+                label = rng.choice(text_context)
+                value = rng.randrange(self._config.text_values)
+                return f'text() = "{label}-{value}"'
+        if kind == "path":
+            return self._predicate_path(context)
+        left = self._predicate(context, depth - 1)
+        if not left:
+            return ""
+        if kind == "not":
+            return f"not({left})"
+        right = self._predicate(context, depth - 1)
+        if not right:
+            return left
+        return f"({left} {'and' if kind == 'and' else 'or'} {right})"
+
+    def _predicate_path(self, context: Set[str]) -> str:
+        """A short relative path usable as an existential qualifier."""
+        rng = self._rng
+        local = set(context)
+        parts: List[str] = []
+        for index in range(rng.randint(1, 2)):
+            descendant = rng.random() < self._config.descendant_probability
+            candidates = sorted(
+                local | self._reachable(local) if descendant else self._children(local)
+            )
+            if not candidates:
+                break
+            label = rng.choice(candidates)
+            local = {label}
+            parts.append(("//" if descendant else "/" if index else "") + label)
+        if not parts:
+            return ""
+        text = "".join(parts)
+        # A leading "//" is legal inside a qualifier; a leading "/" is not.
+        return text
+
+
+def query_labels(path: Path) -> Set[str]:
+    """All element-type labels mentioned by ``path`` (for resolution checks)."""
+    labels: Set[str] = set()
+
+    def walk_path(node: Path) -> None:
+        if isinstance(node, Label):
+            labels.add(node.name)
+        if isinstance(node, Qualified):
+            walk_path(node.path)
+            walk_qualifier(node.qualifier)
+            return
+        for child in node.children():
+            walk_path(child)
+
+    def walk_qualifier(node: Qualifier) -> None:
+        from repro.xpath.ast import And, Not, Or, PathQual
+
+        if isinstance(node, PathQual):
+            walk_path(node.path)
+        elif isinstance(node, Not):
+            walk_qualifier(node.inner)
+        elif isinstance(node, (And, Or)):
+            walk_qualifier(node.left)
+            walk_qualifier(node.right)
+
+    walk_path(path)
+    return labels

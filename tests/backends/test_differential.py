@@ -43,6 +43,37 @@ class TestSpecs:
     def test_non_recursive_dtd_is_non_recursive(self):
         assert not non_recursive_dtd().is_recursive()
 
+    def test_spec_accepts_explicit_document(self):
+        from repro.backends.differential import DifferentialSpec
+        from repro.dtd import samples
+        from repro.xmltree.generator import generate_document
+
+        dtd = samples.cross_dtd()
+        tree = generate_document(dtd, seed=1, max_elements=100)
+        spec = DifferentialSpec("explicit", dtd, {"Q": "a//d"}, document=tree)
+        assert spec.materialize() is tree
+        assert all(outcome.matched for outcome in run_differential([spec]))
+
+    def test_generated_fuzz_specs_run_in_same_sweep(self):
+        from repro.fuzz.dtd_gen import DTDGenConfig, RandomDTDGenerator
+        from repro.fuzz.cases import DocumentSpec, FuzzCase
+        from repro.fuzz.xpath_gen import RandomXPathGenerator, XPathGenConfig
+
+        dtd = RandomDTDGenerator(DTDGenConfig(seed=11, cycle_edges=2)).generate()
+        queries = RandomXPathGenerator(dtd, XPathGenConfig(seed=11)).queries(3)
+        specs = [
+            FuzzCase(
+                label=f"gen-{index}",
+                dtd_text=dtd.to_text(),
+                query=query,
+                document=DocumentSpec(seed=index, max_elements=120),
+            ).to_differential_spec()
+            for index, query in enumerate(queries)
+        ]
+        outcomes = run_differential(specs)
+        assert outcomes
+        assert all(outcome.matched for outcome in outcomes)
+
 
 class TestDifferential:
     def test_all_backends_agree_on_all_workloads(self):

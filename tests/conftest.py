@@ -49,3 +49,23 @@ def dept_shredded(dept_tree, dept_dtd):
 def cross_shredded(cross_tree, cross_dtd):
     """The cross document shredded with the simplified mapping."""
     return shred_document(cross_tree, cross_dtd)
+
+
+@pytest.fixture
+def injected_sqlite_bug():
+    """Deliberately inject a sqlgen bug: SQLite's result SELECT is silently
+    truncated to one row — the wrong-answer class the differential fuzzing
+    subsystem exists to catch."""
+    from unittest import mock
+
+    import repro.backends.sqlite as sqlite_backend
+
+    real = sqlite_backend.program_statements
+
+    def buggy(program, dialect):
+        statements = real(program, dialect)
+        statements[-1] = statements[-1] + " LIMIT 1"
+        return statements
+
+    with mock.patch.object(sqlite_backend, "program_statements", buggy):
+        yield

@@ -117,3 +117,124 @@ class TestBackendFlags:
         output = capsys.readouterr().out
         assert "comparisons agree" in output
         assert "MISMATCH" not in output
+
+
+class TestDiffExitCodes:
+    def test_diff_reports_failure_with_nonzero_exit(self, injected_sqlite_bug, capsys):
+        assert main(["diff", "--quick"]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_stats_report_shape_knobs(self, capsys):
+        assert main(
+            ["generate", "cross", "--seed", "3", "--elements", "100", "--show", "stats"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "conforms: True" in output
+        assert "seed=3" in output
+        assert "labels:" in output
+
+    def test_seed_reproducibility(self, capsys):
+        argv = ["generate", "gedml", "--seed", "9", "--elements", "200"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_xml_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "doc.xml"
+        assert main(
+            ["generate", "cross", "--elements", "60", "--show", "xml", "--out", str(out)]
+        ) == 0
+        assert out.read_text().startswith("<a")
+
+    def test_experiment_seed_and_elements_flags(self, capsys):
+        assert main(
+            ["experiment", "exp3", "--quick", "--seed", "9", "--elements", "400"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 14" in output
+        assert "400 elements" in output
+
+    def test_experiment_exp5_notes_translation_only(self, capsys):
+        assert main(["experiment", "exp5", "--seed", "1"]) == 0
+        assert "translation-only" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seed == 0 and args.budget == 100
+        args = build_parser().parse_args(["fuzz", "--strategies", "cycleex", "--backends", "memory"])
+        assert args.strategies == "cycleex"
+
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "42", "--budget", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "disagreements=0" in output
+        assert "cases=10" in output
+
+    def test_seed_reproducibility(self, capsys):
+        argv = ["fuzz", "--seed", "5", "--budget", "6"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out.splitlines()
+        assert main(argv) == 0
+        second = capsys.readouterr().out.splitlines()
+        # Identical apart from the trailing timing line.
+        assert first[:-1] == second[:-1]
+
+    def test_unknown_strategy_and_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--strategies", "magic"])
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--backends", "nope"])
+
+    def test_engine_axes_are_honoured(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "1", "--budget", "4", "--strategies", "cycleex",
+             "--backends", "memory"]
+        ) == 0
+        assert "engines=2" in capsys.readouterr().out
+
+    def test_failures_saved_and_exit_nonzero(self, injected_sqlite_bug, tmp_path, capsys):
+        corpus = tmp_path / "failures"
+        assert main(
+            ["fuzz", "--seed", "42", "--budget", "8", "--save-failures", str(corpus)]
+        ) == 1
+        output = capsys.readouterr().out
+        assert "MISMATCH" in output
+        saved = sorted(corpus.glob("*.json"))
+        assert saved
+        from repro.fuzz.cases import FuzzCase
+
+        case = FuzzCase.load(saved[0])
+        assert case.query  # replayable artifact
+
+    def test_replay_corpus_exits_by_verdict(self, tmp_path, capsys, injected_sqlite_bug):
+        from repro.dtd import samples
+        from repro.fuzz.cases import DocumentSpec, FuzzCase
+
+        case = FuzzCase(
+            label="replay-me",
+            dtd_text=samples.cross_dtd().to_text(),
+            query="a//d",
+            document=DocumentSpec(seed=3, max_elements=150),
+        )
+        case.save(tmp_path / "case.json")
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 1  # bug still injected
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_replay_clean_corpus_exits_zero(self, tmp_path, capsys):
+        from repro.dtd import samples
+        from repro.fuzz.cases import DocumentSpec, FuzzCase
+
+        case = FuzzCase(
+            label="replay-clean",
+            dtd_text=samples.cross_dtd().to_text(),
+            query="a//d",
+            document=DocumentSpec(seed=3, max_elements=150),
+        )
+        case.save(tmp_path / "case.json")
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 0
+        assert "1/1 corpus case(s) agree" in capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Replay the checked-in regression corpus.
+
+Every case under ``tests/fuzz/corpus/`` is a frozen (DTD, document spec,
+query) triple; each must round-trip through serialization and agree across
+the full engine grid.  When the fuzzer finds a real bug, the shrunk repro
+gets checked in here so the regression stays covered forever.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.cases import FuzzCase
+from repro.fuzz.harness import replay_corpus
+from repro.fuzz.oracle import DifferentialOracle
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, f"no corpus cases under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "corpus_file", CORPUS_FILES, ids=[path.stem for path in CORPUS_FILES]
+)
+def test_corpus_case_agrees_on_every_engine(corpus_file):
+    case = FuzzCase.load(corpus_file)
+    assert FuzzCase.from_json(case.to_json()) == case  # serialization round trip
+    outcome = DifferentialOracle().run(case)
+    assert outcome.ok, outcome.describe()
+
+
+def test_replay_corpus_directory():
+    outcomes = replay_corpus(CORPUS_DIR)
+    assert len(outcomes) == len(CORPUS_FILES)
+    assert all(outcome.ok for outcome in outcomes)

@@ -19,6 +19,7 @@ from repro.core.optimize import push_selection_options, standard_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd import samples
+from repro.fuzz.xpath_gen import RandomXPathGenerator, XPathGenConfig
 from repro.relational.algebra import Fixpoint, Scan
 from repro.relational.executor import Executor
 from repro.relational.relation import Relation
@@ -141,6 +142,52 @@ class TestTranslationInvariant:
         assert {n.node_id for n in plain.answer(query, shredded)} == {
             n.node_id for n in pushed.answer(query, shredded)
         }
+
+
+# ---------------------------------------------------------------------------
+# The invariant over *every* sample DTD × both optimisation settings.
+#
+# The hypothesis tests above exercise the cross DTD deeply; this sweep runs
+# schema-guided random queries (fixed seed, so deterministic) over all the
+# paper DTDs — the BIOML subgraph family, GedML, dept — under both lowering
+# configurations and every descendant strategy.
+# ---------------------------------------------------------------------------
+
+ALL_SAMPLE_DTDS = sorted(samples.paper_dtds())
+
+OPTIMIZATION_SETTINGS = {
+    "standard": standard_options,
+    "push-selections": push_selection_options,
+}
+
+
+@pytest.fixture(scope="module")
+def sample_documents():
+    documents = {}
+    for name, dtd in samples.paper_dtds().items():
+        tree = generate_document(
+            dtd, x_l=7, x_r=3, seed=17, max_elements=250, distinct_values=4
+        )
+        documents[name] = (dtd, tree, shred_document(tree, dtd))
+    return documents
+
+
+class TestInvariantAcrossSampleDTDs:
+    @pytest.mark.parametrize("options_name", sorted(OPTIMIZATION_SETTINGS))
+    @pytest.mark.parametrize("dtd_name", ALL_SAMPLE_DTDS)
+    def test_random_queries_agree_with_evaluator(
+        self, sample_documents, dtd_name, options_name
+    ):
+        dtd, tree, shredded = sample_documents[dtd_name]
+        queries = RandomXPathGenerator(dtd, XPathGenConfig(seed=13)).queries(5)
+        options = OPTIMIZATION_SETTINGS[options_name]()
+        for strategy in DescendantStrategy:
+            translator = XPathToSQLTranslator(dtd, strategy=strategy, options=options)
+            for query_text in queries:
+                query = parse_xpath(query_text)
+                expected = {n.node_id for n in evaluate_xpath(tree, query)}
+                actual = {n.node_id for n in translator.answer(query, shredded)}
+                assert actual == expected, (dtd_name, strategy.value, query_text)
 
 
 class TestRecEquivalence:
