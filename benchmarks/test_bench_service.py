@@ -1,0 +1,128 @@
+"""Benchmark: query-service throughput — the repo's first perf baseline.
+
+Runs the shared harness of :mod:`repro.service.bench` (the same scenarios
+``repro bench-service`` measures) and writes ``BENCH_3.json`` at the repo
+root, so later PRs have a committed trajectory point to compare against.
+
+Asserted here (the Issue 3 acceptance bar):
+
+* warm-cache answering is >= 3x faster than the stateless cold path on the
+  repeated-workload scenario;
+* batch answering through the service beats per-query ``answer_xpath`` on
+  the paper workloads;
+* every fast path returned exactly the slow path's answers.
+
+The pytest-benchmark cases below additionally time the individual rungs
+(stateless call, plan-cached call, warm call) so regressions in any single
+layer show up in ``--benchmark-compare`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import answer_xpath
+from repro.dtd import samples
+from repro.service import QueryService
+from repro.service.bench import ServiceBenchConfig, run_service_benchmark, write_report
+from repro.xmltree.generator import generate_document
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+
+BENCH_CONFIG = ServiceBenchConfig(elements=1000, repeats=5, threads=4)
+
+
+@pytest.fixture(scope="module")
+def service_report():
+    return run_service_benchmark(BENCH_CONFIG)
+
+
+def test_writes_bench_3_json(service_report):
+    write_report(service_report, str(REPORT_PATH))
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["bench"] == "service-throughput"
+    assert on_disk["issue"] == 3
+    assert set(on_disk["scenarios"]) == {
+        "repeated_workload",
+        "batch_vs_per_query",
+        "concurrency",
+    }
+
+
+def test_all_fast_paths_returned_exact_answers(service_report):
+    assert service_report["ok"] is True
+
+
+def test_warm_cache_at_least_3x_faster_than_cold(service_report):
+    repeated = service_report["scenarios"]["repeated_workload"]
+    assert repeated["results_match"] is True
+    assert repeated["speedup"] >= 3.0, (
+        f"warm serving only {repeated['speedup']:.2f}x faster than the "
+        f"stateless cold path (cold {repeated['stateless_cold_seconds']:.3f}s, "
+        f"warm {repeated['service_warm_seconds']:.3f}s)"
+    )
+
+
+def test_batch_answering_beats_per_query_answer_xpath(service_report):
+    batch = service_report["scenarios"]["batch_vs_per_query"]
+    assert batch["results_match"] is True
+    assert batch["speedup"] > 1.0, (
+        f"service batches were not faster: per-query "
+        f"{batch['per_query_seconds']:.3f}s vs batch {batch['batch_seconds']:.3f}s"
+    )
+
+
+def test_concurrency_scenario_recorded_for_both_backends(service_report):
+    concurrency = service_report["scenarios"]["concurrency"]
+    assert set(concurrency) == {"memory", "sqlite"}
+    for entry in concurrency.values():
+        assert entry["results_match"] is True
+        assert entry["serial_seconds"] > 0 and entry["threaded_seconds"] > 0
+
+
+# -- per-rung micro-benchmarks --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cross_serving():
+    dtd = samples.cross_dtd()
+    tree = generate_document(
+        dtd, x_l=10, x_r=3, seed=11, max_elements=BENCH_CONFIG.elements
+    )
+    return dtd, tree
+
+
+def test_stateless_answer_per_call(benchmark, cross_serving):
+    dtd, tree = cross_serving
+    result = benchmark.pedantic(
+        lambda: answer_xpath("a/b//c/d", tree, dtd), rounds=3, iterations=1
+    )
+    benchmark.extra_info["rung"] = "stateless"
+    benchmark.extra_info["matches"] = len(result)
+
+
+def test_plan_cached_answer_per_call(benchmark, cross_serving):
+    dtd, tree = cross_serving
+    with QueryService(dtd, result_cache=False) as service:
+        service.register_document("doc", tree)
+        service.answer("a/b//c/d")  # compile + prepare once
+        result = benchmark.pedantic(
+            lambda: service.answer("a/b//c/d"), rounds=3, iterations=1
+        )
+    benchmark.extra_info["rung"] = "plan-cached"
+    benchmark.extra_info["matches"] = len(result)
+
+
+def test_warm_service_answer_per_call(benchmark, cross_serving):
+    dtd, tree = cross_serving
+    with QueryService(dtd) as service:
+        service.register_document("doc", tree)
+        service.answer("a/b//c/d")  # warm every cache
+        result = benchmark.pedantic(
+            lambda: service.answer("a/b//c/d"), rounds=3, iterations=3
+        )
+    benchmark.extra_info["rung"] = "warm"
+    benchmark.extra_info["matches"] = len(result)

@@ -30,6 +30,7 @@ from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.relational.sqlgen import SQLDialect
+from repro.service import PlanCache, QueryService
 from repro.shredding.shredder import shred_document
 from repro.views.gav import GAVView
 from repro.xmltree.generator import generate_document
@@ -60,5 +61,7 @@ __all__ = [
     "FuzzConfig",
     "DifferentialOracle",
     "run_fuzz",
+    "PlanCache",
+    "QueryService",
     "__version__",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
-from repro.backends.base import Backend, BackendResult, normalize_rows
+from repro.backends.base import Backend, BackendResult, PreparedProgram, normalize_rows
 from repro.backends.memory import MemoryBackend
 from repro.backends.sqlite import SqliteBackend, sqlite_schema_ddl
 from repro.relational.database import Database
@@ -25,6 +25,7 @@ from repro.relational.database import Database
 __all__ = [
     "Backend",
     "BackendResult",
+    "PreparedProgram",
     "MemoryBackend",
     "SqliteBackend",
     "BACKENDS",

@@ -25,7 +25,13 @@ from repro.relational.algebra import Program
 from repro.relational.database import Database
 from repro.relational.schema import T
 
-__all__ = ["BackendResult", "Backend", "normalize_rows", "NormalizedRow"]
+__all__ = [
+    "BackendResult",
+    "Backend",
+    "PreparedProgram",
+    "normalize_rows",
+    "NormalizedRow",
+]
 
 NormalizedRow = Tuple[str, ...]
 
@@ -78,6 +84,23 @@ class BackendResult:
         return self.column_values(T)
 
 
+@dataclass(frozen=True)
+class PreparedProgram:
+    """A program made ready for repeated execution on one backend.
+
+    Preparation factors the per-plan work out of the per-call path: the
+    program is pruned once, and backends attach whatever they can
+    precompute in ``payload`` (the SQLite backend stores its rendered
+    statement list so repeated calls skip SQL generation entirely).  A
+    prepared program is immutable and carries no connection state, so one
+    instance may be executed concurrently from many threads.
+    """
+
+    backend: str
+    program: Program
+    payload: object = None
+
+
 class Backend(abc.ABC):
     """Executes translated programs over one database.
 
@@ -100,6 +123,25 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def execute(self, program: Program) -> BackendResult:
         """Execute ``program`` and return the normalized result."""
+
+    # -- prepared execution ------------------------------------------------------
+
+    def prepare(self, program: Program) -> PreparedProgram:
+        """Make ``program`` ready for repeated execution (prune once).
+
+        The base implementation covers engines with nothing further to
+        precompute; backends with a render or planning step override this.
+        """
+        return PreparedProgram(backend=self.name, program=program.pruned())
+
+    def execute_prepared(self, prepared: PreparedProgram) -> BackendResult:
+        """Execute a prepared program (must be prepared for this backend)."""
+        if prepared.backend != self.name:
+            raise ValueError(
+                f"program was prepared for backend {prepared.backend!r}, "
+                f"cannot execute on {self.name!r}"
+            )
+        return self.execute(prepared.program)
 
     def answer_node_ids(self, program: Program) -> Set[str]:
         """Convenience: execute and return the matched node-id set."""

@@ -6,7 +6,9 @@ relational engine.  This module extends the check across *execution
 backends*: every query from :mod:`repro.workloads.queries` is translated
 once and executed on every registered backend over generated documents
 (recursive and non-recursive DTDs alike), and the answer sets must be
-identical tuple-for-tuple.
+identical tuple-for-tuple.  Each distinct (DTD, document) pair is shredded
+exactly once per sweep — see :meth:`DifferentialSpec.document_key` — no
+matter how many specs, strategies or queries consume it.
 
 Usage::
 
@@ -37,9 +39,11 @@ from repro.core.expath_to_sql import TranslationOptions
 from repro.core.optimize import push_selection_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
+from repro.core.plancache import dtd_fingerprint
 from repro.dtd import samples
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
+from repro.shredding.shredder import ShreddedDocument, shred_document
 from repro.workloads.queries import (
     BIOML_CASES,
     CROSS_QUERIES,
@@ -96,6 +100,26 @@ class DifferentialSpec:
             seed=self.seed,
             max_elements=self.max_elements,
             distinct_values=self.distinct_values,
+        )
+
+    def document_key(self) -> Tuple[object, ...]:
+        """Identity of the spec's shredded document.
+
+        Shredding depends only on the DTD and the document — never on the
+        strategy or options — so specs that differ only in translation
+        configuration (e.g. ``cross`` vs ``cross-R``) share one key, and
+        the sweep shreds their document exactly once.
+        """
+        if self.document is not None:
+            return ("explicit", dtd_fingerprint(self.dtd), id(self.document))
+        return (
+            "generated",
+            dtd_fingerprint(self.dtd),
+            self.x_l,
+            self.x_r,
+            self.seed,
+            self.max_elements,
+            self.distinct_values,
         )
 
 
@@ -232,13 +256,21 @@ def run_differential(
         raise ValueError("differential testing needs at least two backends")
     reference_name, candidate_names = names[0], names[1:]
 
+    # Shred each distinct (DTD, document) once for the whole sweep: specs
+    # that vary only the translation configuration reuse the same
+    # ShreddedDocument instead of silently re-shredding per spec.
+    shredded_documents: Dict[Tuple[object, ...], ShreddedDocument] = {}
+
     outcomes: List[DifferentialOutcome] = []
     for spec in specs:
-        tree = spec.materialize()
+        document_key = spec.document_key()
+        shredded = shredded_documents.get(document_key)
+        if shredded is None:
+            shredded = shred_document(spec.materialize(), spec.dtd)
+            shredded_documents[document_key] = shredded
         translator = XPathToSQLTranslator(
             spec.dtd, strategy=spec.strategy, options=spec.options
         )
-        shredded = translator.shred(tree)
         reference = create_backend(reference_name, shredded.database)
         candidates = [
             create_backend(name, shredded.database) for name in candidate_names

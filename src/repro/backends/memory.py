@@ -15,6 +15,10 @@ __all__ = ["MemoryBackend"]
 class MemoryBackend(Backend):
     """Execute programs on the pure-Python engine of ``relational.executor``.
 
+    Every :meth:`execute` call builds a fresh :class:`Executor` over the
+    (immutable after shredding) database, so concurrent calls from many
+    threads are lock-free reads — there is no shared mutable state.
+
     Parameters
     ----------
     database:

@@ -8,10 +8,27 @@ such an operator.  The backend
 1. generates DDL from a :class:`~repro.relational.schema.DatabaseSchema`
    (one ``TEXT``-columned table per relation, indexes on the join columns,
    plus the ``ALL_NODES`` view backing the identity relation ``R_id``);
-2. bulk-loads the shredded document through ``executemany``;
+2. bulk-loads the shredded document through ``executemany`` — once, at
+   construction time; the connection then persists for the backend's
+   lifetime, which is what lets a serving layer keep a loaded store warm;
 3. executes each program assignment as a ``CREATE TEMPORARY TABLE ... AS``
    statement rendered in the :data:`~repro.relational.sqlgen.SQLDialect.SQLITE`
    dialect, then fetches the result SELECT.
+
+Concurrency: the default in-memory database is opened in SQLite's
+shared-cache mode under a unique URI, and every thread that touches the
+backend lazily gets its *own* connection to it.  Connections are never
+shared across threads (sidestepping "recursive use of cursors" and
+cross-thread errors wholesale), temporary tables are per-connection so
+parallel queries cannot collide, and the loaded base tables are only ever
+read after construction.
+
+Prepared execution (:meth:`SqliteBackend.prepare` /
+:meth:`SqliteBackend.execute_prepared`) renders the statement list once per
+plan.  SQLite cannot parameterise DDL, so per-call temp-table creation
+remains, but repeated calls skip pruning, SQL generation and the per-
+temporary ``COUNT(*)`` instrumentation — the per-query churn the one-shot
+:meth:`SqliteBackend.execute` path pays.
 
 Results come back normalized (SQLite's TEXT affinity makes everything a
 string anyway), so they compare directly against
@@ -20,11 +37,15 @@ string anyway), so they compare directly against
 
 from __future__ import annotations
 
+import itertools
+import os
 import sqlite3
+import threading
 import time
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-from repro.backends.base import Backend, BackendResult, normalize_rows
+from repro.backends.base import Backend, BackendResult, PreparedProgram, normalize_rows
 from repro.errors import ExecutionError
 from repro.relational.algebra import Program
 from repro.relational.database import Database
@@ -68,6 +89,14 @@ def sqlite_schema_ddl(schema: DatabaseSchema) -> List[str]:
     return statements
 
 
+@dataclass(frozen=True)
+class _SqlitePlan:
+    """The precomputed payload of a prepared program: rendered statements."""
+
+    statements: Tuple[str, ...]
+    targets: Tuple[str, ...]
+
+
 class SqliteBackend(Backend):
     """Execute translated programs on SQLite.
 
@@ -77,28 +106,83 @@ class SqliteBackend(Backend):
         The shredded database; its schema is turned into DDL and its
         relations bulk-loaded at construction time.
     path:
-        SQLite database path (default in-memory).
+        SQLite database path.  The default ``":memory:"`` becomes a unique
+        shared-cache in-memory database so per-thread connections all see
+        the same loaded tables.
     """
 
     name = "sqlite"
 
+    _instance_ids = itertools.count()
+
     def __init__(self, database: Database, path: str = ":memory:") -> None:
         super().__init__(database)
-        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(path)
+        if path == ":memory:":
+            self._uri = (
+                f"file:repro-sqlite-{os.getpid()}-{next(self._instance_ids)}"
+                "?mode=memory&cache=shared"
+            )
+            self._is_uri = True
+        else:
+            self._uri = path
+            self._is_uri = False
+        self._lock = threading.Lock()
+        # (owning thread, connection) pairs; dead threads' connections are
+        # reaped whenever a new one opens, so short-lived worker threads
+        # (e.g. a fresh pool per answer_batch call) cannot leak handles.
+        self._connections: List[Tuple[threading.Thread, sqlite3.Connection]] = []
+        self._local = threading.local()
+        self._closed = False
+        # The anchor connection keeps the shared in-memory database alive for
+        # the backend's whole lifetime (it would vanish with its last
+        # connection otherwise) and performs the one-time DDL + bulk load.
+        self._anchor = self._open_connection()
+        self._local.connection = self._anchor
         self._create_schema()
         self._load()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        with self._lock:
+            self._closed = True
+            connections, self._connections = self._connections, []
+        for _, connection in connections:
+            connection.close()
+
+    def _open_connection(self) -> sqlite3.Connection:
+        # check_same_thread=False so close() can reap connections owned by
+        # worker threads; each connection is still *used* by one thread only.
+        connection = sqlite3.connect(
+            self._uri, uri=self._is_uri, check_same_thread=False
+        )
+        with self._lock:
+            if self._closed:
+                connection.close()
+                raise ExecutionError("sqlite backend is closed")
+            dead = [
+                (thread, conn)
+                for thread, conn in self._connections
+                if not thread.is_alive()
+            ]
+            if dead:
+                self._connections = [
+                    entry for entry in self._connections if entry not in dead
+                ]
+            self._connections.append((threading.current_thread(), connection))
+        for _, stale in dead:
+            stale.close()
+        return connection
 
     def _conn(self) -> sqlite3.Connection:
-        if self._connection is None:
+        """This thread's connection, opened lazily on first use."""
+        if self._closed:
             raise ExecutionError("sqlite backend is closed")
-        return self._connection
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._open_connection()
+            self._local.connection = connection
+        return connection
 
     # -- loading -----------------------------------------------------------------
 
@@ -122,32 +206,82 @@ class SqliteBackend(Backend):
 
     # -- execution ---------------------------------------------------------------
 
+    def prepare(self, program: Program) -> PreparedProgram:
+        """Prune and render once; repeated execution reuses the statements."""
+        pruned = program.pruned()
+        plan = _SqlitePlan(
+            statements=tuple(program_statements(pruned, SQLDialect.SQLITE)),
+            targets=tuple(assignment.target for assignment in pruned.assignments),
+        )
+        return PreparedProgram(backend=self.name, program=pruned, payload=plan)
+
+    def execute_prepared(self, prepared: PreparedProgram) -> BackendResult:
+        """Run a prepared plan on this thread's connection, skipping render
+        and instrumentation work."""
+        if prepared.backend != self.name:
+            raise ValueError(
+                f"program was prepared for backend {prepared.backend!r}, "
+                f"cannot execute on {self.name!r}"
+            )
+        plan = prepared.payload
+        if not isinstance(plan, _SqlitePlan):  # prepared via the base class
+            plan = self.prepare(prepared.program).payload
+        columns, rows, elapsed, _ = self._run_plan(plan)
+        stats: Dict[str, float] = {
+            "rows": len(rows),
+            "elapsed_seconds": elapsed,
+            "temporaries_evaluated": len(plan.targets),
+            "prepared": 1,
+        }
+        return BackendResult(backend=self.name, columns=columns, rows=rows, stats=stats)
+
     def execute(self, program: Program) -> BackendResult:
         """Run ``program`` end-to-end: temporaries as temp tables, then the result.
 
         Assignments the result never uses are pruned first (mirroring the
         lazy in-memory strategy, which also never materialises them).
         """
-        program = program.pruned()
+        prepared = self.prepare(program)
+        plan = prepared.payload
+        assert isinstance(plan, _SqlitePlan)
+        columns, rows, elapsed, tuples_materialized = self._run_plan(
+            plan, instrument=True
+        )
+        stats: Dict[str, float] = {
+            "rows": len(rows),
+            "elapsed_seconds": elapsed,
+            "temporaries_evaluated": len(plan.targets),
+            "tuples_materialized": tuples_materialized,
+        }
+        return BackendResult(backend=self.name, columns=columns, rows=rows, stats=stats)
+
+    # -- statement running -------------------------------------------------------
+
+    def _run_plan(self, plan: _SqlitePlan, instrument: bool = False):
+        """Execute a rendered plan on this thread's connection.
+
+        Returns ``(columns, rows, elapsed, tuples_materialized)``; the
+        tuple count is only gathered with ``instrument=True``.  Only the
+        translated statements are timed: the per-temporary ``COUNT(*)``
+        instrumentation and the temp-table teardown are backend
+        bookkeeping, and including them would bias every memory-vs-sqlite
+        comparison the backend axis exists to make.
+        """
         cursor = self._conn().cursor()
-        statements = program_statements(program, SQLDialect.SQLITE)
         created: List[str] = []
         tuples_materialized = 0
-        # Only the translated statements are timed: the per-temporary
-        # COUNT(*) instrumentation and the temp-table teardown are backend
-        # bookkeeping, and including them would bias every memory-vs-sqlite
-        # comparison the backend axis exists to make.
         elapsed = 0.0
         try:
-            for assignment, statement in zip(program.assignments, statements):
+            for target, statement in zip(plan.targets, plan.statements):
                 start = time.perf_counter()
                 cursor.execute(statement)
                 elapsed += time.perf_counter() - start
-                created.append(assignment.target)
-                cursor.execute(f'SELECT COUNT(*) FROM "{assignment.target}"')
-                tuples_materialized += cursor.fetchone()[0]
+                created.append(target)
+                if instrument:
+                    cursor.execute(f'SELECT COUNT(*) FROM "{target}"')
+                    tuples_materialized += cursor.fetchone()[0]
             start = time.perf_counter()
-            cursor.execute(statements[-1])
+            cursor.execute(plan.statements[-1])
             columns = tuple(description[0] for description in cursor.description)
             rows = normalize_rows(cursor.fetchall())
             elapsed += time.perf_counter() - start
@@ -155,13 +289,11 @@ class SqliteBackend(Backend):
             raise ExecutionError(f"sqlite execution failed: {exc}") from exc
         finally:
             for name in created:
-                cursor.execute(f'DROP TABLE IF EXISTS temp."{name}"')
-        stats: Dict[str, float] = {
-            "rows": len(rows),
-            "elapsed_seconds": elapsed,
-            "temporaries_evaluated": len(created),
-            "tuples_materialized": tuples_materialized,
-        }
-        return BackendResult(
-            backend=self.name, columns=columns, rows=rows, stats=stats
-        )
+                try:
+                    cursor.execute(f'DROP TABLE IF EXISTS temp."{name}"')
+                except sqlite3.Error:
+                    # Best-effort teardown: a failed DROP (e.g. close() raced
+                    # an in-flight query on another thread) must not mask the
+                    # real error; temp tables die with the connection anyway.
+                    break
+        return columns, rows, elapsed, tuples_materialized

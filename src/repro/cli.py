@@ -15,6 +15,15 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     and answer a query, printing the matching node paths; handy for quickly
     checking what a translated query returns.  ``--backend sqlite`` runs
     the translated SQL for real on SQLite instead of the in-memory engine.
+    Answering goes through the :class:`~repro.service.QueryService` layer:
+    ``--repeat N`` answers the query N times against the warm store (and
+    prints plan-cache statistics), ``--no-cache`` disables the plan cache.
+
+``bench-service``
+    Run the service throughput benchmark (cold vs warm-cache answering,
+    batch vs per-query, serial vs threaded) and optionally write the
+    ``BENCH_3.json`` report (``--out``); ``--quick`` is the tiny-budget CI
+    smoke configuration.
 
 ``experiment``
     Run one of the paper's experiments (exp1..exp5) with ``--quick`` sweeps
@@ -47,6 +56,8 @@ Examples
     python -m repro translate cross "a//d" --dialect sqlite
     python -m repro answer cross "a//d" --elements 2000 --seed 7
     python -m repro answer cross "a//d" --backend sqlite
+    python -m repro answer cross "a//d" --repeat 50
+    python -m repro bench-service --quick --out BENCH_3.json
     python -m repro experiment exp5
     python -m repro experiment exp3 --quick --backend sqlite
     python -m repro experiment exp1 --quick --seed 7 --elements 800
@@ -61,9 +72,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
-from repro.backends import backend_names, create_backend
+from repro.backends import backend_names
 from repro.core.optimize import push_selection_options, standard_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
@@ -151,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=backend_names(), default="memory",
         help="execution backend (default: memory)",
     )
+    answer.add_argument(
+        "--repeat", type=int, default=1,
+        help="answer the query this many times through the warm service (default: 1)",
+    )
+    answer.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the translation-plan cache (every repeat re-translates)",
+    )
 
     experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=["exp1", "exp2", "exp3", "exp4", "exp5"])
@@ -190,6 +210,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the document, its structural summary, or both",
     )
     generate.add_argument("--out", default=None, help="write the XML to this file instead of stdout")
+
+    bench_service = commands.add_parser(
+        "bench-service",
+        help="measure query-service throughput (cold vs warm, batch, threads)",
+    )
+    bench_service.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget (default: 1200, or the --quick budget)",
+    )
+    bench_service.add_argument(
+        "--repeats", type=int, default=None,
+        help="workload repetitions per scenario (default: 5, or the --quick budget)",
+    )
+    bench_service.add_argument(
+        "--threads", type=int, default=None,
+        help="thread count of the concurrency scenario (default: 4, or the --quick budget)",
+    )
+    bench_service.add_argument(
+        "--quick", action="store_true",
+        help="tiny-budget defaults (CI smoke); explicit flags still override",
+    )
+    bench_service.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report (BENCH_3.json format) to PATH",
+    )
 
     fuzz = commands.add_parser(
         "fuzz", help="randomized cross-engine differential fuzzing"
@@ -265,23 +310,46 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_answer(args: argparse.Namespace) -> int:
+    from repro.service import QueryService
+
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
     dtd = _load_dtd(args.dtd)
     document = generate_document(
         dtd, x_l=args.x_l, x_r=args.x_r, seed=args.seed, max_elements=args.elements
     )
-    translator = XPathToSQLTranslator(dtd, strategy=_STRATEGIES[args.strategy])
-    shredded = translator.shred(document)
-    program = translator.translate(args.query).program
-    backend = create_backend(args.backend, shredded.database)
-    try:
-        executed = backend.execute(program)
-    finally:
-        backend.close()
-    matches = shredded.nodes_for_ids(executed.node_ids())
+    with QueryService(
+        dtd,
+        strategy=_STRATEGIES[args.strategy],
+        backend=args.backend,
+        cache_capacity=0 if args.no_cache else 128,
+    ) as service:
+        store = service.register_document("doc", document)
+        executed = service.execute(args.query)
+        matches = store.shredded.nodes_for_ids(executed.node_ids())
+        if args.repeat > 1:
+            start = time.perf_counter()
+            for _ in range(args.repeat - 1):
+                service.execute(args.query)
+            elapsed = time.perf_counter() - start
+        plans = service.cache_info()
+        results = service.result_cache_info()
     print(
         f"document: {document.size()} elements; matches: {len(matches)} "
         f"(backend: {executed.backend}, {executed.stats['elapsed_seconds']:.3f}s)"
     )
+    if args.repeat > 1:
+        per_query = 1000.0 * elapsed / (args.repeat - 1)
+        cache_note = (
+            f"cache: {results.hits} result hits, "
+            f"{plans.hits} plan hits / {plans.misses} misses"
+            if not args.no_cache
+            else "cache: disabled"
+        )
+        print(
+            f"  repeated {args.repeat - 1} more time(s) warm: {elapsed:.3f}s total, "
+            f"{per_query:.2f}ms/query ({cache_note})"
+        )
     for node in matches[: args.limit]:
         path = "/".join(node.path_from_root())
         value = f" = {node.value!r}" if node.value is not None else ""
@@ -356,6 +424,37 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from repro.service.bench import (
+        ServiceBenchConfig,
+        describe_report,
+        run_service_benchmark,
+        write_report,
+    )
+
+    from dataclasses import replace
+
+    config = ServiceBenchConfig.quick() if args.quick else ServiceBenchConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("elements", args.elements),
+            ("repeats", args.repeats),
+            ("threads", args.threads),
+        )
+        if value is not None
+    }
+    if any(value < 1 for value in overrides.values()):
+        raise SystemExit("--elements, --repeats and --threads must be >= 1")
+    config = replace(config, **overrides)
+    report = run_service_benchmark(config)
+    print(describe_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import DocumentSpec, FuzzConfig, default_engines, replay_corpus, run_fuzz
 
@@ -422,6 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "diff": _cmd_diff,
         "generate": _cmd_generate,
+        "bench-service": _cmd_bench_service,
         "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)

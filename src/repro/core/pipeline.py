@@ -21,6 +21,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union as TUnion
 
 from repro.core.expath_to_sql import ExtendedToSQL, TranslationOptions
+from repro.core.plancache import (
+    PlanCache,
+    PlanKey,
+    dtd_fingerprint,
+    mapping_fingerprint,
+    options_fingerprint,
+)
 from repro.core.xpath_to_expath import DescendantStrategy, XPathToExtended
 from repro.dtd.model import DTD
 from repro.expath.ast import ExtendedXPathQuery
@@ -91,6 +98,16 @@ class XPathToSQLTranslator:
         paper's standard implementation (small seeds, no pushing).
     mapping:
         Storage mapping; defaults to the simplified per-type mapping.
+    plan_cache:
+        Optional :class:`~repro.core.plancache.PlanCache`.  When set,
+        :meth:`translate` becomes a cache lookup keyed by (DTD fingerprint,
+        canonical query, strategy, options, dialect, mapping fingerprint) —
+        the hook :class:`~repro.service.QueryService` hangs its serving
+        cache on.  Caching is semantically invisible: a hit returns the
+        same :class:`TranslationResult` a fresh translation would produce.
+    cache_dialect:
+        The SQL dialect recorded in cache keys (plans destined for
+        different dialects must not alias once rendered).
 
     Example
     -------
@@ -107,6 +124,8 @@ class XPathToSQLTranslator:
         strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
         options: Optional[TranslationOptions] = None,
         mapping: Optional[SimpleMapping] = None,
+        plan_cache: Optional[PlanCache] = None,
+        cache_dialect: SQLDialect = SQLDialect.GENERIC,
     ) -> None:
         self._dtd = dtd
         self._mapping = mapping or SimpleMapping(dtd)
@@ -114,6 +133,11 @@ class XPathToSQLTranslator:
         self._options = options or TranslationOptions()
         self._front_end = XPathToExtended(dtd, strategy=strategy)
         self._back_end = ExtendedToSQL(self._mapping, self._options)
+        self._plan_cache = plan_cache
+        self._cache_dialect = cache_dialect
+        self._dtd_fingerprint: Optional[str] = None
+        self._options_fingerprint: Optional[str] = None
+        self._mapping_fingerprint: Optional[str] = None
 
     # -- accessors --------------------------------------------------------------
 
@@ -137,6 +161,11 @@ class XPathToSQLTranslator:
         """The lowering options."""
         return self._options
 
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The plan cache consulted by :meth:`translate` (``None`` = uncached)."""
+        return self._plan_cache
+
     # -- translation -------------------------------------------------------------
 
     @staticmethod
@@ -151,9 +180,42 @@ class XPathToSQLTranslator:
         """Step 2 only: lower an extended XPath query to a relational program."""
         return self._back_end.translate(extended)
 
+    def plan_key(self, query: QueryLike) -> PlanKey:
+        """The cache key of ``query`` under this translator's configuration.
+
+        The query component is the *canonical* rendering of the parsed path,
+        so whitespace variants of one query share an entry; the fingerprints
+        are computed once per translator.
+        """
+        if self._dtd_fingerprint is None:
+            self._dtd_fingerprint = dtd_fingerprint(self._dtd)
+        if self._options_fingerprint is None:
+            self._options_fingerprint = options_fingerprint(self._options)
+        if self._mapping_fingerprint is None:
+            self._mapping_fingerprint = mapping_fingerprint(self._mapping)
+        return PlanKey(
+            dtd=self._dtd_fingerprint,
+            query=str(self._parse(query)),
+            strategy=self._strategy.value,
+            options=self._options_fingerprint,
+            dialect=self._cache_dialect.value,
+            mapping=self._mapping_fingerprint,
+        )
+
     def translate(self, query: QueryLike) -> TranslationResult:
-        """Run both translation steps and return all intermediate artifacts."""
+        """Run both translation steps and return all intermediate artifacts.
+
+        With a ``plan_cache`` configured this consults the cache first and
+        only translates on a miss.
+        """
         path = self._parse(query)
+        if self._plan_cache is None:
+            return self._translate_fresh(path)
+        return self._plan_cache.get_or_create(
+            self.plan_key(path), lambda: self._translate_fresh(path)
+        )
+
+    def _translate_fresh(self, path: Path) -> TranslationResult:
         start = time.perf_counter()
         extended = self._front_end.translate(path)
         program = self._back_end.translate(extended)

@@ -1,0 +1,233 @@
+"""The translation-plan cache: reuse compiled plans across queries.
+
+Translating one XPath query runs CycleEX/CycleE over the DTD graph and the
+Sect. 5 lowering — work that depends only on (DTD, query, strategy,
+options), never on the document.  A serving layer that answers thousands of
+queries over the same DTD therefore wants to pay it once; :class:`PlanCache`
+is the LRU that makes that safe:
+
+* entries are keyed by :class:`PlanKey` — the DTD *fingerprint* (a content
+  hash, so two structurally different DTDs can never alias), the canonical
+  query text, the descendant strategy, the optimisation options, the SQL
+  dialect the plan will be rendered in and the storage-mapping fingerprint
+  (plans lowered against differently-named relations must not alias);
+* the cache is bounded (LRU eviction at ``capacity``) and thread-safe, so
+  one cache can sit behind a multi-threaded :class:`~repro.service.QueryService`;
+* :meth:`PlanCache.cache_info` exposes hit/miss/eviction counters in the
+  spirit of :func:`functools.lru_cache`, which is what the service
+  benchmarks and the cache-policy tests read.
+
+The cache stores opaque values (in practice
+:class:`~repro.core.pipeline.TranslationResult` objects); it never inspects
+them, so it is reusable for prepared backend plans too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Optional
+
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd.model import DTD
+from repro.relational.sqlgen import SQLDialect
+from repro.shredding.inlining import SimpleMapping
+
+__all__ = [
+    "CacheInfo",
+    "PlanCache",
+    "PlanKey",
+    "dtd_fingerprint",
+    "mapping_fingerprint",
+    "options_fingerprint",
+    "plan_key",
+]
+
+
+def dtd_fingerprint(dtd: DTD) -> str:
+    """A short content hash of a DTD (name + grammar text).
+
+    Two DTDs share a fingerprint iff they serialize identically, so a cache
+    keyed on it is invalidated "for free" the moment a service is pointed at
+    a different (or edited) DTD — there is no stale-plan failure mode.
+    """
+    digest = hashlib.sha256(f"{dtd.name}\n{dtd.to_text()}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def mapping_fingerprint(mapping: SimpleMapping) -> str:
+    """A short content hash of a storage mapping.
+
+    Covers the mapping's class and its complete element-type -> relation
+    assignment, so translators lowering against differently-named (or
+    differently-shaped) storage never alias in a shared cache.
+    """
+    assignment = ",".join(
+        f"{element_type}->{mapping.relation_for(element_type)}"
+        for element_type in mapping.dtd.element_types
+    )
+    digest = hashlib.sha256(
+        f"{type(mapping).__qualname__}\n{assignment}".encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+def options_fingerprint(options: TranslationOptions) -> str:
+    """A canonical rendering of the lowering options (all fields, sorted)."""
+    parts = [
+        f"{field.name}={getattr(options, field.name)!r}"
+        for field in sorted(fields(options), key=lambda field: field.name)
+    ]
+    return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """The identity of one compiled plan.
+
+    Everything translation output depends on is in the key; the document is
+    deliberately *not* (plans are document-independent, which is the whole
+    point of caching them).
+    """
+
+    dtd: str
+    query: str
+    strategy: str
+    options: str
+    dialect: str
+    mapping: str
+
+
+def plan_key(
+    dtd: DTD,
+    query: str,
+    strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
+    options: Optional[TranslationOptions] = None,
+    dialect: SQLDialect = SQLDialect.GENERIC,
+    mapping: Optional[SimpleMapping] = None,
+) -> PlanKey:
+    """Build the :class:`PlanKey` for one (DTD, query, configuration) point."""
+    return PlanKey(
+        dtd=dtd_fingerprint(dtd),
+        query=str(query),
+        strategy=strategy.value,
+        options=options_fingerprint(options or TranslationOptions()),
+        dialect=dialect.value,
+        mapping=mapping_fingerprint(mapping or SimpleMapping(dtd)),
+    )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of cache counters (:func:`functools.lru_cache` style)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU mapping :class:`PlanKey` -> plan.
+
+    ``capacity`` bounds the number of retained plans; 0 disables retention
+    entirely (every lookup misses) while keeping the counters live, which is
+    how benchmarks measure the uncached baseline through identical code
+    paths.
+
+    :meth:`get_or_create` is the primary API: it looks up the key and calls
+    the factory on a miss.  The factory runs *outside* the internal lock —
+    translation can take milliseconds and must not serialize unrelated
+    lookups — so two racing threads may both translate the same query; both
+    results are equivalent and the second simply wins the ``put``.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[PlanKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained plans."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: PlanKey) -> Optional[Any]:
+        """The cached plan for ``key``, or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: PlanKey, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry at capacity."""
+        with self._lock:
+            if self._capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_create(self, key: PlanKey, factory: Callable[[], Any]) -> Any:
+        """The cached plan for ``key``, creating it via ``factory`` on a miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def cache_info(self) -> CacheInfo:
+        """Current hit/miss/eviction counters and occupancy."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"PlanCache(capacity={info.capacity}, size={info.size}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )

@@ -1,0 +1,29 @@
+"""The query service layer: cached plans over prepared document stores.
+
+The translation pipeline is stateless — :func:`repro.core.pipeline.answer_xpath`
+re-runs both translation steps and re-shreds the document on every call.
+:class:`QueryService` is the serving-side counterpart: it owns one DTD,
+keeps an LRU :class:`~repro.core.plancache.PlanCache` of compiled plans,
+holds registered documents as *prepared stores* (shredded once, backend
+loaded once, plans prepared once) and answers queries — singly, in batches,
+and concurrently from many threads.
+
+:mod:`repro.service.bench` measures what that buys: cold (stateless) vs
+warm (cached) answering and serial vs threaded batch throughput, written to
+``BENCH_3.json`` by the benchmark suite and the ``repro bench-service``
+subcommand.
+"""
+
+from __future__ import annotations
+
+from repro.core.plancache import CacheInfo, PlanCache, PlanKey, dtd_fingerprint
+from repro.service.service import DocumentStore, QueryService
+
+__all__ = [
+    "CacheInfo",
+    "DocumentStore",
+    "PlanCache",
+    "PlanKey",
+    "QueryService",
+    "dtd_fingerprint",
+]

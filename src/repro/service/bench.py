@@ -1,0 +1,344 @@
+"""The service throughput benchmark: cold vs warm, batch vs one-shot, threads.
+
+One harness feeds both ``repro bench-service`` and
+``benchmarks/test_bench_service.py`` (which writes the repo's perf baseline
+``BENCH_3.json``), so the CLI smoke run in CI and the asserted benchmark
+measure exactly the same scenarios:
+
+``repeated_workload``
+    The serving case the :class:`~repro.service.QueryService` exists for: a
+    fixed query set answered over and over against one document.  *Cold* is
+    the stateless pipeline (:func:`repro.core.pipeline.answer_xpath` —
+    re-translate, re-shred and re-execute per call, what every caller paid
+    before the service layer); *plan-cached* reuses compiled plans and the
+    loaded store but re-executes; *warm* additionally serves repeated
+    (query, document) pairs from the per-store result cache.  The
+    acceptance bar is warm >= 3x faster than cold.
+
+``batch_vs_per_query``
+    The paper workloads (dept, cross, gedml) answered as service batches
+    vs one stateless call per query.
+
+``concurrency``
+    The same batch pushed through ``answer_batch`` serially and with a
+    thread pool, on both backends.  The memory engine is pure Python, so
+    threads mostly measure GIL overhead there; SQLite's C core releases the
+    GIL and its per-thread connections can actually overlap.
+
+Every scenario cross-checks that the fast path returned exactly the slow
+path's nodes (``results_match``) — a benchmark that got faster by being
+wrong must fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import answer_xpath
+from repro.dtd import samples
+from repro.dtd.model import DTD
+from repro.service.service import QueryService
+from repro.workloads.queries import (
+    CROSS_QUERIES,
+    DEPT_QUERIES,
+    GEDML_QUERY,
+    SCALABILITY_QUERY,
+)
+from repro.xmltree.generator import generate_document
+from repro.xmltree.tree import XMLTree
+
+__all__ = [
+    "ServiceBenchConfig",
+    "describe_report",
+    "run_service_benchmark",
+    "write_report",
+]
+
+BENCH_NAME = "service-throughput"
+BENCH_ISSUE = 3
+
+
+@dataclass(frozen=True)
+class ServiceBenchConfig:
+    """Knobs of one benchmark run (the defaults are the committed baseline)."""
+
+    elements: int = 1200
+    repeats: int = 5
+    threads: int = 4
+    rounds: int = 2
+    seed: int = 11
+    cache_capacity: int = 128
+
+    @classmethod
+    def quick(cls) -> "ServiceBenchConfig":
+        """A tiny-budget configuration for CI smoke runs."""
+        return cls(elements=300, repeats=3, threads=2, rounds=2)
+
+
+def _cross_workload(config: ServiceBenchConfig) -> Tuple[str, DTD, Dict[str, str], XMLTree]:
+    """The cross-cycle workload (label, DTD, queries, generated document).
+
+    The single-workload scenarios use only this one — the recursive core of
+    the paper's experiments — so the other documents are never generated
+    for them.
+    """
+    cross = samples.cross_dtd()
+    return (
+        "cross",
+        cross,
+        {**CROSS_QUERIES, "Qs": SCALABILITY_QUERY},
+        generate_document(
+            cross, x_l=10, x_r=3, seed=config.seed, max_elements=config.elements
+        ),
+    )
+
+
+def _workloads(config: ServiceBenchConfig) -> List[Tuple[str, DTD, Dict[str, str], XMLTree]]:
+    """All paper workloads: (label, DTD, queries, generated document)."""
+    dept = samples.dept_dtd()
+    gedml = samples.gedml_dtd()
+    return [
+        (
+            "dept",
+            dept,
+            dict(DEPT_QUERIES),
+            generate_document(
+                dept, x_l=8, x_r=3, seed=config.seed, max_elements=config.elements
+            ),
+        ),
+        _cross_workload(config),
+        (
+            "gedml",
+            gedml,
+            {"Qg": GEDML_QUERY},
+            generate_document(
+                gedml, x_l=8, x_r=3, seed=config.seed, max_elements=config.elements
+            ),
+        ),
+    ]
+
+
+def _node_ids(nodes) -> Tuple[int, ...]:
+    return tuple(node.node_id for node in nodes)
+
+
+def _bench_repeated_workload(config: ServiceBenchConfig) -> Dict[str, object]:
+    """Cold (stateless per call) vs warm (cached service) on a repeated set.
+
+    Three rungs of the same ladder, all answering the identical sequence:
+
+    * *stateless cold* — ``answer_xpath`` per call: re-translate, re-shred,
+      re-execute (what callers paid before the service layer existed);
+    * *plan-cached* — a service with the result cache off: the store and
+      compiled plans are reused, every call still executes on the backend;
+    * *warm* — the full service: repeated (query, document) pairs are
+      served from the per-store result cache.
+    """
+    _, dtd, queries, tree = _cross_workload(config)
+    sequence = [query for _ in range(config.repeats) for query in queries.values()]
+    calls = len(sequence)
+
+    start = time.perf_counter()
+    cold_results = [_node_ids(answer_xpath(query, tree, dtd)) for query in sequence]
+    cold_seconds = time.perf_counter() - start
+
+    with QueryService(
+        dtd, cache_capacity=config.cache_capacity, result_cache=False
+    ) as service:
+        service.register_document("doc", tree)
+        for query in queries.values():  # warm the plan cache + prepared store
+            service.answer(query)
+        start = time.perf_counter()
+        plan_cached_results = [_node_ids(service.answer(query)) for query in sequence]
+        plan_cached_seconds = time.perf_counter() - start
+
+    with QueryService(dtd, cache_capacity=config.cache_capacity) as service:
+        setup_start = time.perf_counter()
+        service.register_document("doc", tree)
+        # First pass over the distinct queries: every cache misses once.
+        for query in queries.values():
+            service.answer(query)
+        setup_seconds = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
+        warm_results = [_node_ids(service.answer(query)) for query in sequence]
+        warm_seconds = time.perf_counter() - start
+        plans = service.cache_info()
+        results = service.result_cache_info()
+
+    return {
+        "document_elements": tree.size(),
+        "distinct_queries": len(queries),
+        "calls": calls,
+        "stateless_cold_seconds": cold_seconds,
+        "plan_cached_seconds": plan_cached_seconds,
+        "service_setup_seconds": setup_seconds,
+        "service_warm_seconds": warm_seconds,
+        "cold_ms_per_query": 1000.0 * cold_seconds / calls,
+        "warm_ms_per_query": 1000.0 * warm_seconds / calls,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "plan_cache_speedup": cold_seconds / plan_cached_seconds
+        if plan_cached_seconds
+        else float("inf"),
+        "plan_cache_hits": plans.hits,
+        "plan_cache_misses": plans.misses,
+        "result_cache_hits": results.hits,
+        "result_cache_misses": results.misses,
+        "results_match": cold_results == warm_results
+        and cold_results == plan_cached_results,
+    }
+
+
+def _bench_batch_vs_per_query(config: ServiceBenchConfig) -> Dict[str, object]:
+    """Service batches vs one stateless ``answer_xpath`` call per query."""
+    per_workload: List[Dict[str, object]] = []
+    total_per_query = 0.0
+    total_batch = 0.0
+    all_match = True
+    for label, dtd, queries, tree in _workloads(config):
+        batch = [query for _ in range(config.rounds) for query in queries.values()]
+
+        start = time.perf_counter()
+        per_query_results = [_node_ids(answer_xpath(query, tree, dtd)) for query in batch]
+        per_query_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with QueryService(dtd, cache_capacity=config.cache_capacity) as service:
+            service.register_document(label, tree)
+            batch_results = [
+                _node_ids(nodes) for nodes in service.answer_batch(batch)
+            ]
+        batch_seconds = time.perf_counter() - start
+
+        matched = per_query_results == batch_results
+        all_match = all_match and matched
+        total_per_query += per_query_seconds
+        total_batch += batch_seconds
+        per_workload.append(
+            {
+                "workload": label,
+                "document_elements": tree.size(),
+                "calls": len(batch),
+                "per_query_seconds": per_query_seconds,
+                "batch_seconds": batch_seconds,
+                "speedup": per_query_seconds / batch_seconds
+                if batch_seconds
+                else float("inf"),
+                "results_match": matched,
+            }
+        )
+    return {
+        "workloads": per_workload,
+        "per_query_seconds": total_per_query,
+        "batch_seconds": total_batch,
+        "speedup": total_per_query / total_batch if total_batch else float("inf"),
+        "results_match": all_match,
+    }
+
+
+def _bench_concurrency(config: ServiceBenchConfig) -> Dict[str, object]:
+    """Serial vs threaded ``answer_batch`` on each backend."""
+    _, dtd, queries, tree = _cross_workload(config)
+    batch = [query for _ in range(config.repeats) for query in queries.values()]
+    by_backend: Dict[str, object] = {}
+    for backend in ("memory", "sqlite"):
+        # Result caching off: every call must actually execute, otherwise the
+        # serial pass would warm the cache and the threaded pass would only
+        # measure dictionary lookups.
+        with QueryService(
+            dtd,
+            backend=backend,
+            cache_capacity=config.cache_capacity,
+            result_cache=False,
+        ) as service:
+            service.register_document("doc", tree)
+            # Warm plans and the prepared store before timing.
+            serial_warmup = [_node_ids(n) for n in service.answer_batch(batch[: len(queries)])]
+
+            start = time.perf_counter()
+            serial = [_node_ids(n) for n in service.answer_batch(batch, threads=1)]
+            serial_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            threaded = [
+                _node_ids(n) for n in service.answer_batch(batch, threads=config.threads)
+            ]
+            threaded_seconds = time.perf_counter() - start
+        by_backend[backend] = {
+            "calls": len(batch),
+            "serial_seconds": serial_seconds,
+            "threaded_seconds": threaded_seconds,
+            "threads": config.threads,
+            "speedup": serial_seconds / threaded_seconds
+            if threaded_seconds
+            else float("inf"),
+            "results_match": serial == threaded
+            and serial[: len(serial_warmup)] == serial_warmup,
+        }
+    return by_backend
+
+
+def run_service_benchmark(config: Optional[ServiceBenchConfig] = None) -> Dict[str, object]:
+    """Run every scenario and return the (JSON-serializable) report."""
+    config = config or ServiceBenchConfig()
+    report: Dict[str, object] = {
+        "bench": BENCH_NAME,
+        "issue": BENCH_ISSUE,
+        "created_unix": int(time.time()),
+        "config": asdict(config),
+        "scenarios": {
+            "repeated_workload": _bench_repeated_workload(config),
+            "batch_vs_per_query": _bench_batch_vs_per_query(config),
+            "concurrency": _bench_concurrency(config),
+        },
+    }
+    scenarios = report["scenarios"]
+    report["ok"] = bool(
+        scenarios["repeated_workload"]["results_match"]
+        and scenarios["batch_vs_per_query"]["results_match"]
+        and all(entry["results_match"] for entry in scenarios["concurrency"].values())
+    )
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write a report as pretty-printed JSON (the ``BENCH_3.json`` format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def describe_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI output)."""
+    scenarios = report["scenarios"]
+    repeated = scenarios["repeated_workload"]
+    batch = scenarios["batch_vs_per_query"]
+    lines = [
+        f"service benchmark ({report['bench']}, "
+        f"{report['config']['elements']} elements, "
+        f"{repeated['calls']} calls/scenario)",
+        (
+            f"  repeated workload: cold {repeated['stateless_cold_seconds']:.3f}s "
+            f"-> plan-cached {repeated['plan_cached_seconds']:.3f}s "
+            f"({repeated['plan_cache_speedup']:.1f}x) "
+            f"-> warm {repeated['service_warm_seconds']:.3f}s "
+            f"({repeated['speedup']:.1f}x; plans {repeated['plan_cache_hits']}h/"
+            f"{repeated['plan_cache_misses']}m, results {repeated['result_cache_hits']}h/"
+            f"{repeated['result_cache_misses']}m)"
+        ),
+        (
+            f"  batch vs per-query: {batch['per_query_seconds']:.3f}s "
+            f"-> {batch['batch_seconds']:.3f}s ({batch['speedup']:.1f}x)"
+        ),
+    ]
+    for backend, entry in sorted(scenarios["concurrency"].items()):
+        lines.append(
+            f"  concurrency[{backend}]: serial {entry['serial_seconds']:.3f}s "
+            f"vs {entry['threads']} threads {entry['threaded_seconds']:.3f}s "
+            f"({entry['speedup']:.2f}x)"
+        )
+    lines.append(f"  results match: {report['ok']}")
+    return "\n".join(lines)

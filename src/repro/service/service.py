@@ -1,0 +1,394 @@
+""":class:`QueryService` — answer XPath queries over long-lived documents.
+
+One service owns one DTD (plus strategy/options/mapping) and any number of
+registered documents.  Against the stateless one-shot path
+(:func:`repro.core.pipeline.answer_xpath`) it changes three things:
+
+* **plans are cached** — an LRU :class:`~repro.core.plancache.PlanCache`
+  sits behind the translator (the :class:`~repro.core.pipeline.XPathToSQLTranslator`
+  ``plan_cache`` hook), keyed by DTD fingerprint × canonical query ×
+  strategy × options × dialect, so a repeated query skips both translation
+  steps;
+* **documents are stores, not arguments** — :meth:`register_document`
+  shreds a document once and keeps its execution backend loaded (the
+  in-memory relations stay resident; the SQLite store keeps a persistent
+  connection with DDL applied and rows bulk-loaded exactly once), and every
+  store memoizes the *prepared* form of each plan it has executed;
+* **results are cached too** — a registered document is immutable for the
+  store's lifetime, so each store keeps a bounded LRU of
+  (plan key -> backend result): answering a repeated query over the same
+  document is a lookup, not an execution.  This is the layer that makes
+  warm serving fast; disable it with ``result_cache=False`` to measure the
+  plan cache alone;
+* **answering is thread-safe** — the plan cache and store registry take
+  locks only around dictionary operations, the memory engine's reads are
+  lock-free, and the SQLite backend hands each thread its own connection,
+  so :meth:`answer_batch` can fan a workload out over a thread pool.
+
+The cache is semantically invisible: for any query, document and
+configuration, :meth:`answer` returns node-for-node what a fresh
+translator-plus-shred would (the property suite pins this).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends import create_backend
+from repro.backends.base import Backend, BackendResult, PreparedProgram
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.pipeline import QueryLike, TranslationResult, XPathToSQLTranslator
+from repro.core.plancache import CacheInfo, PlanCache, PlanKey
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd.model import DTD
+from repro.relational.sqlgen import SQLDialect
+from repro.shredding.inlining import SimpleMapping
+from repro.shredding.shredder import ShreddedDocument
+from repro.xmltree.tree import XMLNode, XMLTree
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["DocumentStore", "QueryService"]
+
+# Dialect each backend's plans are rendered/keyed under.
+_BACKEND_DIALECTS: Dict[str, SQLDialect] = {
+    "memory": SQLDialect.GENERIC,
+    "sqlite": SQLDialect.SQLITE,
+}
+
+
+class DocumentStore:
+    """One registered document: shredded once, backend kept loaded.
+
+    The store also memoizes prepared programs and — because the document
+    can never change while registered — finished backend results.  Both are
+    :class:`PlanCache` instances (one LRU implementation repo-wide) sized
+    by the service's plan-cache capacity.  Results are immutable
+    (:class:`~repro.backends.base.BackendResult` is frozen), so cache hits
+    are safe to hand to many threads at once.
+    """
+
+    def __init__(
+        self,
+        document_id: str,
+        shredded: ShreddedDocument,
+        backend: Backend,
+        prepared_capacity: int,
+        result_capacity: int,
+    ) -> None:
+        self.document_id = document_id
+        self.shredded = shredded
+        self.backend = backend
+        self._prepared = PlanCache(prepared_capacity)
+        self._results = PlanCache(result_capacity)
+
+    @property
+    def tree(self) -> XMLTree:
+        """The source document."""
+        return self.shredded.tree
+
+    def prepared_program(
+        self, key: Optional[PlanKey], result: TranslationResult
+    ) -> PreparedProgram:
+        """The prepared form of ``result``'s program on this store's backend."""
+        if key is None:
+            return self.backend.prepare(result.program)
+        return self._prepared.get_or_create(
+            key, lambda: self.backend.prepare(result.program)
+        )
+
+    def cached_result(self, key: Optional[PlanKey]) -> Optional[BackendResult]:
+        """The memoized result for ``key``, or ``None`` (counts hit/miss)."""
+        if key is None:
+            return None
+        return self._results.get(key)
+
+    def store_result(self, key: Optional[PlanKey], result: BackendResult) -> None:
+        """Memoize ``result`` under ``key``."""
+        if key is not None:
+            self._results.put(key, result)
+
+    def result_cache_info(self) -> CacheInfo:
+        """Counters of this store's result cache."""
+        return self._results.cache_info()
+
+    def close(self) -> None:
+        """Release the store's backend resources."""
+        self.backend.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentStore(id={self.document_id!r}, "
+            f"backend={self.backend.name!r}, "
+            f"elements={self.tree.size()})"
+        )
+
+
+class QueryService:
+    """Answer XPath queries over one DTD with cached plans and warm stores.
+
+    Parameters
+    ----------
+    dtd:
+        The DTD all queries and documents range over.
+    strategy / options / mapping:
+        Forwarded to the underlying translator (same defaults).
+    backend:
+        Execution backend name for document stores (``memory`` default).
+    cache_capacity:
+        Sizes every cache layer (plans, prepared programs, results); ``0``
+        disables all of them — every call translates, prepares and
+        executes afresh, the fully stateless baseline for benchmarks.
+    plan_cache:
+        Pass an existing :class:`PlanCache` to share one cache across
+        services (e.g. several services over the same DTD); overrides
+        ``cache_capacity``.
+    result_cache:
+        Memoize finished backend results per store (default on; registered
+        documents are immutable, so this is semantically invisible).  Off
+        means every answer executes on the backend — the mode that isolates
+        plan-cache gains in benchmarks.
+
+    Example
+    -------
+    >>> from repro.dtd.samples import dept_dtd
+    >>> from repro.xmltree.generator import generate_document
+    >>> dtd = dept_dtd()
+    >>> service = QueryService(dtd)
+    >>> store = service.register_document("d1", generate_document(dtd, seed=1))
+    >>> nodes = service.answer("dept//project")
+    >>> service.cache_info().misses
+    1
+    >>> nodes == service.answer("dept//project")  # warm: a cache hit
+    True
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
+        options: Optional[TranslationOptions] = None,
+        mapping: Optional[SimpleMapping] = None,
+        backend: str = "memory",
+        cache_capacity: int = 128,
+        plan_cache: Optional[PlanCache] = None,
+        result_cache: bool = True,
+    ) -> None:
+        if cache_capacity < 0:
+            raise ValueError(f"cache_capacity must be >= 0, got {cache_capacity}")
+        self._dtd = dtd
+        self._backend_name = backend
+        dialect = _BACKEND_DIALECTS.get(backend, SQLDialect.GENERIC)
+        if plan_cache is not None:
+            self._plan_cache: Optional[PlanCache] = plan_cache
+        elif cache_capacity > 0:
+            self._plan_cache = PlanCache(cache_capacity)
+        else:
+            self._plan_cache = None
+        self._translator = XPathToSQLTranslator(
+            dtd,
+            strategy=strategy,
+            options=options,
+            mapping=mapping,
+            plan_cache=self._plan_cache,
+            cache_dialect=dialect,
+        )
+        self._prepared_capacity = (
+            self._plan_cache.capacity if self._plan_cache is not None else 0
+        )
+        self._result_capacity = self._prepared_capacity if result_cache else 0
+        self._stores: "OrderedDict[str, DocumentStore]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def dtd(self) -> DTD:
+        """The DTD this service answers queries over."""
+        return self._dtd
+
+    @property
+    def backend_name(self) -> str:
+        """The execution backend document stores run on."""
+        return self._backend_name
+
+    @property
+    def translator(self) -> XPathToSQLTranslator:
+        """The (cache-backed) translator; exposed for inspection and tests."""
+        return self._translator
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters (all zeros, capacity 0, when caching is off)."""
+        if self._plan_cache is None:
+            return CacheInfo(hits=0, misses=0, evictions=0, size=0, capacity=0)
+        return self._plan_cache.cache_info()
+
+    def result_cache_info(self) -> CacheInfo:
+        """Result-cache counters aggregated across all registered stores."""
+        hits = misses = evictions = size = 0
+        with self._lock:
+            stores = list(self._stores.values())
+        for store in stores:
+            info = store.result_cache_info()
+            hits += info.hits
+            misses += info.misses
+            evictions += info.evictions
+            size += info.size
+        return CacheInfo(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            size=size,
+            capacity=self._result_capacity,
+        )
+
+    def document_ids(self) -> List[str]:
+        """Ids of all registered documents, in registration order."""
+        with self._lock:
+            return list(self._stores)
+
+    # -- document registry -------------------------------------------------------
+
+    def register_document(self, document_id: str, tree: XMLTree) -> DocumentStore:
+        """Shred ``tree`` once and keep it loaded as a reusable store."""
+        self._check_open()
+        with self._lock:
+            if document_id in self._stores:
+                raise ValueError(f"document {document_id!r} is already registered")
+        shredded = self._translator.shred(tree)
+        store = DocumentStore(
+            document_id=document_id,
+            shredded=shredded,
+            backend=create_backend(self._backend_name, shredded.database),
+            prepared_capacity=self._prepared_capacity,
+            result_capacity=self._result_capacity,
+        )
+        with self._lock:
+            if self._closed or document_id in self._stores:
+                store.close()
+                raise ValueError(
+                    f"cannot register {document_id!r}: "
+                    + ("service is closed" if self._closed else "already registered")
+                )
+            self._stores[document_id] = store
+        return store
+
+    def unregister_document(self, document_id: str) -> None:
+        """Drop a store and release its backend."""
+        with self._lock:
+            store = self._stores.pop(document_id, None)
+        if store is None:
+            raise ValueError(f"unknown document {document_id!r}")
+        store.close()
+
+    def store(self, document_id: Optional[str] = None) -> DocumentStore:
+        """Resolve a document id (or the sole registered document)."""
+        self._check_open()
+        with self._lock:
+            if document_id is None:
+                if len(self._stores) == 1:
+                    return next(iter(self._stores.values()))
+                raise ValueError(
+                    f"document_id is required: {len(self._stores)} document(s) registered"
+                )
+            try:
+                return self._stores[document_id]
+            except KeyError:
+                known = ", ".join(sorted(self._stores)) or "<none>"
+                raise ValueError(
+                    f"unknown document {document_id!r} (registered: {known})"
+                ) from None
+
+    # -- answering ---------------------------------------------------------------
+
+    def plan(self, query: QueryLike) -> TranslationResult:
+        """Translate ``query`` (through the plan cache when enabled)."""
+        self._check_open()
+        return self._translator.translate(query)
+
+    def execute(
+        self, query: QueryLike, document_id: Optional[str] = None
+    ) -> BackendResult:
+        """Answer ``query`` on a store, returning the raw backend result."""
+        return self._execute(self.store(document_id), query)
+
+    def _execute(self, store: DocumentStore, query: QueryLike) -> BackendResult:
+        """Answer ``query`` on an already-resolved store.
+
+        The query is parsed exactly once; on the fully warm path the call
+        is one key computation plus one result-cache lookup.
+        """
+        parsed = parse_xpath(query) if isinstance(query, str) else query
+        key = (
+            self._translator.plan_key(parsed) if self._plan_cache is not None else None
+        )
+        cached = store.cached_result(key)
+        if cached is not None:
+            return cached
+        prepared = store.prepared_program(key, self.plan(parsed))
+        result = store.backend.execute_prepared(prepared)
+        store.store_result(key, result)
+        return result
+
+    def answer(
+        self, query: QueryLike, document_id: Optional[str] = None
+    ) -> List[XMLNode]:
+        """Answer ``query``, returning matching XML nodes in document order."""
+        store = self.store(document_id)
+        executed = self._execute(store, query)
+        return store.shredded.nodes_for_ids(executed.node_ids())
+
+    def answer_batch(
+        self,
+        queries: Sequence[QueryLike],
+        document_id: Optional[str] = None,
+        threads: int = 1,
+    ) -> List[List[XMLNode]]:
+        """Answer many queries over one store; optionally across threads.
+
+        Results come back in input order regardless of thread count.  With
+        ``threads > 1`` queries run on a thread pool: safe because plans are
+        immutable once cached, the memory engine's reads are lock-free, and
+        the SQLite backend gives each pool thread its own connection.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        store = self.store(document_id)
+
+        def one(query: QueryLike) -> List[XMLNode]:
+            executed = self._execute(store, query)
+            return store.shredded.nodes_for_ids(executed.node_ids())
+
+        if threads == 1 or len(queries) <= 1:
+            return [one(query) for query in queries]
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            return list(pool.map(one, queries))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every store's backend; the service rejects further calls."""
+        with self._lock:
+            self._closed = True
+            stores, self._stores = list(self._stores.values()), OrderedDict()
+        for store in stores:
+            store.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("query service is closed")
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(dtd={self._dtd.name!r}, backend={self._backend_name!r}, "
+            f"documents={self.document_ids()}, cache={self.cache_info()})"
+        )

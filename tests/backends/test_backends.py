@@ -155,3 +155,112 @@ class TestIdentifierQuoting:
         memory = MemoryBackend(shredded.database)
         with SqliteBackend(shredded.database) as sqlite:
             assert sqlite.execute(program).rows == memory.execute(program).rows
+
+
+class TestPreparedExecution:
+    """The prepare()/execute_prepared() surface the service layer runs on."""
+
+    def _program(self, dept_dtd):
+        return XPathToSQLTranslator(dept_dtd).translate("dept//project").program
+
+    @pytest.mark.parametrize("backend_name", ["memory", "sqlite"])
+    def test_prepared_matches_one_shot(self, backend_name, dept_dtd, dept_shredded):
+        program = self._program(dept_dtd)
+        with create_backend(backend_name, dept_shredded.database) as backend:
+            one_shot = backend.execute(program)
+            prepared = backend.prepare(program)
+            for _ in range(3):  # repeatable: no temp-table or state leakage
+                repeat = backend.execute_prepared(prepared)
+                assert repeat.rows == one_shot.rows
+                assert repeat.columns == one_shot.columns
+
+    def test_prepared_program_is_pruned(self, dept_dtd, dept_shredded):
+        program = self._program(dept_dtd)
+        backend = create_backend("memory", dept_shredded.database)
+        prepared = backend.prepare(program)
+        assert len(prepared.program.assignments) <= len(program.assignments)
+
+    def test_sqlite_prepared_payload_precomputes_statements(
+        self, dept_dtd, dept_shredded
+    ):
+        program = self._program(dept_dtd)
+        with SqliteBackend(dept_shredded.database) as backend:
+            prepared = backend.prepare(program)
+            assert prepared.payload is not None
+            # One statement per retained assignment plus the result SELECT.
+            assert len(prepared.payload.statements) == len(
+                prepared.program.assignments
+            ) + 1
+            result = backend.execute_prepared(prepared)
+            assert result.stats["prepared"] == 1
+
+    def test_cross_backend_prepared_rejected(self, dept_dtd, dept_shredded):
+        program = self._program(dept_dtd)
+        memory = create_backend("memory", dept_shredded.database)
+        with SqliteBackend(dept_shredded.database) as sqlite:
+            prepared = memory.prepare(program)
+            with pytest.raises(ValueError, match="prepared for backend"):
+                sqlite.execute_prepared(prepared)
+
+    def test_base_class_prepared_runs_on_sqlite(self, dept_dtd, dept_shredded):
+        """A PreparedProgram without a SQLite payload is re-prepared, not broken."""
+        from repro.backends.base import PreparedProgram
+
+        program = self._program(dept_dtd)
+        with SqliteBackend(dept_shredded.database) as backend:
+            generic = PreparedProgram(backend="sqlite", program=program.pruned())
+            assert backend.execute_prepared(generic).rows == backend.execute(
+                program
+            ).rows
+
+
+class TestSqliteThreadedConnections:
+    def test_each_thread_gets_its_own_connection(self, dept_dtd, dept_shredded):
+        import threading
+
+        program = XPathToSQLTranslator(dept_dtd).translate("dept//project").program
+        with SqliteBackend(dept_shredded.database) as backend:
+            expected = backend.execute(program).rows
+            results, errors = [], []
+
+            def worker():
+                try:
+                    results.append(backend.execute(program).rows)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert all(rows == expected for rows in results)
+
+    def test_two_backends_do_not_share_the_shared_cache_db(self, dept_shredded):
+        first = SqliteBackend(dept_shredded.database)
+        second = SqliteBackend(dept_shredded.database)  # must not collide on DDL
+        try:
+            cursor_a = first._conn().execute("SELECT COUNT(*) FROM ALL_NODES")
+            cursor_b = second._conn().execute("SELECT COUNT(*) FROM ALL_NODES")
+            assert cursor_a.fetchone() == cursor_b.fetchone()
+        finally:
+            first.close()
+            second.close()
+
+    def test_dead_thread_connections_are_reaped(self, dept_dtd, dept_shredded):
+        """Short-lived worker threads must not leak connections (Issue 3)."""
+        import threading
+
+        program = XPathToSQLTranslator(dept_dtd).translate("dept//project").program
+        with SqliteBackend(dept_shredded.database) as backend:
+            for _ in range(5):  # each round: a thread that opens a connection
+                thread = threading.Thread(target=lambda: backend.execute(program))
+                thread.start()
+                thread.join()
+            # Each new thread's open reaps all previously-dead owners, so at
+            # most the *last* dead thread's connection lingers; the total
+            # never grows with the number of dead threads.
+            dead = [t for t, _ in backend._connections if not t.is_alive()]
+            assert len(dead) <= 1
+            assert len(backend._connections) <= 2  # anchor + last thread

@@ -115,3 +115,65 @@ class TestDifferential:
         )
         line = good.describe()
         assert "memory" in line and "sqlite" in line and line.startswith("OK")
+
+
+class TestShredOncePerDocument:
+    """A sweep shreds each distinct (DTD, document) exactly once (Issue 3).
+
+    Before the fix, every spec re-shredded its document even when several
+    specs (e.g. ``cross`` under CycleEX and under SQLGen-R) described the
+    very same one; the spy pins the per-sweep shred count.
+    """
+
+    def _spy(self, monkeypatch):
+        from unittest import mock
+
+        from repro.backends import differential
+        from repro.shredding.shredder import shred_document
+
+        spy = mock.Mock(side_effect=shred_document)
+        monkeypatch.setattr(differential, "shred_document", spy)
+        return spy
+
+    def test_same_document_across_strategies_shreds_once(self, monkeypatch):
+        from repro.backends.differential import DifferentialSpec
+        from repro.core.xpath_to_expath import DescendantStrategy
+        from repro.dtd import samples
+
+        spy = self._spy(monkeypatch)
+        dtd = samples.cross_dtd()
+        specs = [
+            DifferentialSpec("cross", dtd, {"Qa": "a/b//c/d", "Qs": "a//d"},
+                             max_elements=200),
+            DifferentialSpec("cross-R", dtd, {"Qa": "a/b//c/d"},
+                             strategy=DescendantStrategy.RECURSIVE_UNION,
+                             max_elements=200),
+        ]
+        outcomes = run_differential(specs)
+        assert all(outcome.matched for outcome in outcomes)
+        # 3 queries, 2 specs, 1 document: exactly one shred.
+        assert spy.call_count == 1
+
+    def test_distinct_documents_shred_separately(self, monkeypatch):
+        from repro.backends.differential import DifferentialSpec
+        from repro.dtd import samples
+
+        spy = self._spy(monkeypatch)
+        dtd = samples.cross_dtd()
+        specs = [
+            DifferentialSpec("small", dtd, {"Q": "a//d"}, max_elements=150),
+            DifferentialSpec("large", dtd, {"Q": "a//d"}, max_elements=250),
+        ]
+        run_differential(specs)
+        assert spy.call_count == 2
+
+    def test_default_sweep_shreds_one_document_per_distinct_key(self, monkeypatch):
+        spy = self._spy(monkeypatch)
+        specs = default_specs(max_elements=150)
+        outcomes = run_differential(specs)
+        assert all(outcome.matched for outcome in outcomes)
+        distinct_documents = {spec.document_key() for spec in specs}
+        # Strictly fewer shreds than specs: cross/cross-R/cross-push share a
+        # document, as do the BIOML cases that reuse one subgraph DTD.
+        assert len(distinct_documents) < len(specs)
+        assert spy.call_count == len(distinct_documents)

@@ -238,3 +238,53 @@ class TestFuzzCommand:
         case.save(tmp_path / "case.json")
         assert main(["fuzz", "--replay", str(tmp_path)]) == 0
         assert "1/1 corpus case(s) agree" in capsys.readouterr().out
+
+
+class TestServiceFlags:
+    def test_answer_repeat_prints_cache_stats(self, capsys):
+        assert main(
+            ["answer", "cross", "a//d", "--elements", "200", "--repeat", "5"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "matches:" in output
+        assert "warm" in output and "cache:" in output
+        assert "hits" in output
+
+    def test_answer_no_cache_disables_stats(self, capsys):
+        argv = ["answer", "cross", "a//d", "--elements", "200", "--seed", "3",
+                "--repeat", "3", "--no-cache"]
+        assert main(argv) == 0
+        assert "cache: disabled" in capsys.readouterr().out
+
+    def test_answer_repeat_does_not_change_matches(self, capsys):
+        argv = ["answer", "cross", "a//d", "--elements", "300", "--seed", "3",
+                "--limit", "5"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--repeat", "4"]) == 0
+        repeated = capsys.readouterr().out
+        # Same match count and same node lines; only the (timing-bearing)
+        # stats tail and the new repeat line differ.
+        assert plain.splitlines()[0].split("(")[0] == repeated.splitlines()[0].split("(")[0]
+        assert plain.splitlines()[1:] == repeated.splitlines()[2:]
+
+    def test_answer_repeat_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            main(["answer", "cross", "a//d", "--repeat", "0"])
+
+    def test_bench_service_quick_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_3.json"
+        assert main(["bench-service", "--quick", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "repeated workload" in output
+        assert "batch vs per-query" in output
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["bench"] == "service-throughput"
+        assert report["ok"] is True
+        assert report["scenarios"]["repeated_workload"]["results_match"] is True
+
+    def test_bench_service_rejects_bad_budget(self):
+        with pytest.raises(SystemExit):
+            main(["bench-service", "--elements", "0"])

@@ -1,0 +1,205 @@
+"""Cache-policy tests: LRU eviction, fingerprint invalidation, counters."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.expath_to_sql import TranslationOptions
+from repro.core.optimize import push_selection_options, standard_options
+from repro.core.plancache import (
+    CacheInfo,
+    PlanCache,
+    PlanKey,
+    dtd_fingerprint,
+    options_fingerprint,
+    plan_key,
+)
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd import samples
+from repro.dtd.parser import parse_dtd
+from repro.relational.sqlgen import SQLDialect
+
+
+def _key(tag: str) -> PlanKey:
+    return PlanKey(
+        dtd="fp", query=tag, strategy="cycleex", options="o", dialect="generic",
+        mapping="m",
+    )
+
+
+class TestLRUPolicy:
+    def test_eviction_at_capacity_drops_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put(_key("q1"), "p1")
+        cache.put(_key("q2"), "p2")
+        assert cache.get(_key("q1")) == "p1"  # q1 is now most recently used
+        cache.put(_key("q3"), "p3")  # evicts q2, not q1
+        assert cache.get(_key("q1")) == "p1"
+        assert cache.get(_key("q2")) is None
+        assert cache.get(_key("q3")) == "p3"
+        assert cache.cache_info().evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.put(_key("q1"), "p1")
+        cache.put(_key("q2"), "p2")
+        cache.put(_key("q1"), "p1b")  # refresh, not insert
+        cache.put(_key("q3"), "p3")  # evicts q2
+        assert cache.get(_key("q1")) == "p1b"
+        assert cache.get(_key("q2")) is None
+
+    def test_zero_capacity_never_retains(self):
+        cache = PlanCache(capacity=0)
+        cache.put(_key("q1"), "p1")
+        assert cache.get(_key("q1")) is None
+        assert len(cache) == 0
+        info = cache.cache_info()
+        assert info.misses == 1 and info.hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PlanCache(capacity=-1)
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = PlanCache(capacity=4)
+        cache.put(_key("q1"), "p1")
+        cache.get(_key("q1"))
+        cache.get(_key("nope"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cache_info() == CacheInfo(
+            hits=0, misses=0, evictions=0, size=0, capacity=4
+        )
+
+
+class TestCounters:
+    def test_hit_and_miss_counters(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(_key("q")) is None  # miss
+        cache.put(_key("q"), "plan")
+        assert cache.get(_key("q")) == "plan"  # hit
+        assert cache.get(_key("q")) == "plan"  # hit
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.size) == (2, 1, 1)
+        assert info.hit_rate == pytest.approx(2 / 3)
+
+    def test_get_or_create_counts_one_miss_then_hits(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        factory = lambda: calls.append(1) or "plan"
+        assert cache.get_or_create(_key("q"), factory) == "plan"
+        assert cache.get_or_create(_key("q"), factory) == "plan"
+        assert len(calls) == 1
+        info = cache.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_thread_safety_smoke(self):
+        cache = PlanCache(capacity=8)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    cache.get_or_create(_key(f"{tag}-{i % 12}"), lambda: i)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+class TestFingerprints:
+    def test_dtd_fingerprint_is_content_based(self):
+        assert dtd_fingerprint(samples.cross_dtd()) == dtd_fingerprint(
+            samples.cross_dtd()
+        )
+        assert dtd_fingerprint(samples.cross_dtd()) != dtd_fingerprint(
+            samples.dept_dtd()
+        )
+
+    def test_edited_dtd_changes_fingerprint(self):
+        base = parse_dtd("root a\na -> b*\nb -> EMPTY #text\n", name="tiny")
+        edited = parse_dtd(
+            "root a\na -> b*\nb -> c*\nc -> EMPTY #text\n", name="tiny"
+        )
+        assert dtd_fingerprint(base) != dtd_fingerprint(edited)
+
+    def test_options_fingerprint_distinguishes_settings(self):
+        assert options_fingerprint(standard_options()) != options_fingerprint(
+            push_selection_options()
+        )
+        assert options_fingerprint(TranslationOptions()) == options_fingerprint(
+            TranslationOptions()
+        )
+
+    def test_plan_key_separates_every_axis(self):
+        from repro.shredding.inlining import SimpleMapping
+
+        dtd = samples.cross_dtd()
+        base = plan_key(dtd, "a//d")
+        assert plan_key(dtd, "a//d") == base
+        assert plan_key(dtd, "a//c") != base
+        assert plan_key(samples.dept_dtd(), "a//d") != base
+        assert plan_key(dtd, "a//d", strategy=DescendantStrategy.CYCLEE) != base
+        assert plan_key(dtd, "a//d", options=push_selection_options()) != base
+        assert plan_key(dtd, "a//d", dialect=SQLDialect.SQLITE) != base
+        assert plan_key(dtd, "a//d", mapping=SimpleMapping(dtd, prefix="S_")) != base
+
+    def test_translators_with_different_mappings_never_alias(self):
+        """Programs lowered against differently-named relations must not be
+        served to each other from a shared cache."""
+        from repro.shredding.inlining import SimpleMapping
+
+        dtd = samples.cross_dtd()
+        cache = PlanCache(capacity=8)
+        default = XPathToSQLTranslator(dtd, plan_cache=cache)
+        renamed = XPathToSQLTranslator(
+            dtd, mapping=SimpleMapping(dtd, prefix="S_"), plan_cache=cache
+        )
+        assert default.plan_key("a//d") != renamed.plan_key("a//d")
+        default.translate("a//d")
+        program = renamed.translate("a//d").program
+        # The renamed translator got its own plan, over its own relations.
+        assert any("S_" in str(statement) for statement in program.assignments)
+
+
+class TestTranslatorCacheHook:
+    def test_translator_reuses_cached_plans(self):
+        cache = PlanCache(capacity=8)
+        translator = XPathToSQLTranslator(samples.cross_dtd(), plan_cache=cache)
+        first = translator.translate("a//d")
+        second = translator.translate("a//d")
+        assert second is first  # the very same TranslationResult object
+        info = cache.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_whitespace_variants_share_one_entry(self):
+        cache = PlanCache(capacity=8)
+        translator = XPathToSQLTranslator(samples.cross_dtd(), plan_cache=cache)
+        # The key is the canonical rendering of the parsed path.
+        assert translator.plan_key("a //d") == translator.plan_key("a//d")
+
+    def test_different_dtds_never_alias_in_a_shared_cache(self):
+        cache = PlanCache(capacity=8)
+        cross = XPathToSQLTranslator(samples.cross_dtd(), plan_cache=cache)
+        dept = XPathToSQLTranslator(samples.dept_dtd(), plan_cache=cache)
+        cross.translate("a//d")
+        # dept has no 'a' type: translating the same text must not hit the
+        # cross entry (it would if keys ignored the DTD fingerprint).
+        assert dept.plan_key("a//d") != cross.plan_key("a//d")
+
+    def test_uncached_translator_unaffected(self):
+        translator = XPathToSQLTranslator(samples.cross_dtd())
+        assert translator.plan_cache is None
+        first = translator.translate("a//d")
+        second = translator.translate("a//d")
+        assert first is not second
+        assert first.program.result == second.program.result
