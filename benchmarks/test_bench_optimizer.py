@@ -1,0 +1,92 @@
+"""Benchmark: the program-optimizer levels — the Issue 4 perf baseline.
+
+Runs the shared harness of :mod:`repro.core.optbench` (the same scenarios
+``repro bench-optimizer`` measures) and writes ``BENCH_4.json`` at the repo
+root, alongside ``BENCH_3.json``.
+
+Asserted here (the Issue 4 acceptance bar):
+
+* every optimizer level returns byte-identical results on every workload
+  and both backends;
+* level 2 produces strictly smaller programs (fewer operators) than level 0
+  on the recursive workloads, and is no slower end-to-end (translation +
+  execution, with slack for CI timer noise);
+* schema-dead queries fully collapse at level 2 (zero assignments);
+* the auto strategy yields recursion-free programs on the non-recursive
+  library workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.optbench import (
+    OptimizerBenchConfig,
+    run_optimizer_benchmark,
+    write_report,
+)
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_4.json"
+
+BENCH_CONFIG = OptimizerBenchConfig(elements=1000, repeats=3)
+
+# Generous slack: level 2 must be at least no slower than level 0 modulo CI
+# timer noise; in practice it is faster (see the committed BENCH_4.json).
+TIMING_SLACK = 1.35
+
+
+@pytest.fixture(scope="module")
+def optimizer_report():
+    return run_optimizer_benchmark(BENCH_CONFIG)
+
+
+def test_writes_bench_4_json(optimizer_report):
+    write_report(optimizer_report, str(REPORT_PATH))
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["bench"] == "optimizer-levels"
+    assert on_disk["issue"] == 4
+    assert set(on_disk["scenarios"]) == {"levels", "empty_queries", "auto_strategy"}
+
+
+def test_every_level_returns_identical_results(optimizer_report):
+    assert optimizer_report["ok"] is True
+    assert optimizer_report["scenarios"]["levels"]["results_match"] is True
+
+
+def test_level_2_programs_are_smaller(optimizer_report):
+    for entry in optimizer_report["scenarios"]["levels"]["workloads"]:
+        assert entry["operator_reduction"] > 0, entry["workload"]
+        assert entry["assignment_reduction"] > 0, entry["workload"]
+
+
+def test_level_2_is_not_slower_end_to_end(optimizer_report):
+    for entry in optimizer_report["scenarios"]["levels"]["workloads"]:
+        level0 = entry["levels"]["0"]["total_seconds"]
+        level2 = entry["levels"]["2"]["total_seconds"]
+        assert level2 <= level0 * TIMING_SLACK, (
+            f"{entry['workload']}: level 2 took {level2:.3f}s vs "
+            f"level 0 {level0:.3f}s"
+        )
+
+
+def test_schema_dead_queries_collapse_to_constants(optimizer_report):
+    empty = optimizer_report["scenarios"]["empty_queries"]
+    assert empty["level2_fully_collapsed"] is True
+    assert empty["results_match"] is True
+    # Level 0 still carries real statements for provably-empty queries.
+    assert empty["levels"]["0"]["operators"] >= 0
+    assert empty["levels"]["2"]["operators"] == 0
+
+
+def test_auto_strategy_unfolds_acyclic_workloads(optimizer_report):
+    auto = optimizer_report["scenarios"]["auto_strategy"]
+    assert auto["library_recursion_free"] is True
+    # Recursive workloads must keep the fixpoint-based strategy.
+    assert auto["resolutions"]["gedml:Qg"] == "cycleex"
+    assert all(
+        value == "cyclee" for key, value in auto["resolutions"].items()
+        if key.startswith("library:")
+    )

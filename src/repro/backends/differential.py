@@ -88,6 +88,7 @@ class DifferentialSpec:
     max_elements: int = 400
     distinct_values: int = 100
     document: Optional[XMLTree] = None
+    optimize_level: Optional[int] = None
 
     def materialize(self) -> XMLTree:
         """The spec's document: the explicit one, or a generated one."""
@@ -269,7 +270,22 @@ def run_differential(
             shredded = shred_document(spec.materialize(), spec.dtd)
             shredded_documents[document_key] = shredded
         translator = XPathToSQLTranslator(
-            spec.dtd, strategy=spec.strategy, options=spec.options
+            spec.dtd,
+            strategy=spec.strategy,
+            options=spec.options,
+            optimize_level=spec.optimize_level,
+        )
+        # The raw-lowering sentinel: the same queries translated with the
+        # program optimizer off.  Comparing its results (on the reference
+        # backend) against the optimized program's confirms the optimizer
+        # rewrites are result-invariant on every sweep.  Skipped when the
+        # spec itself pins level 0 — the comparison would be tautological.
+        raw_translator = (
+            None
+            if spec.optimize_level == 0
+            else XPathToSQLTranslator(
+                spec.dtd, strategy=spec.strategy, options=spec.options, optimize_level=0
+            )
         )
         reference = create_backend(reference_name, shredded.database)
         candidates = [
@@ -282,6 +298,19 @@ def run_differential(
                 for candidate in candidates:
                     actual = candidate.execute(program)
                     outcomes.append(_compare(spec, query_name, query, expected, actual))
+                if raw_translator is not None:
+                    raw_program = raw_translator.translate(query).program
+                    raw_result = reference.execute(raw_program)
+                    outcomes.append(
+                        _compare(
+                            spec,
+                            f"{query_name}/O0",
+                            query,
+                            raw_result,
+                            expected,
+                            candidate_label=f"{reference_name}/optimized",
+                        )
+                    )
         finally:
             reference.close()
             for candidate in candidates:
@@ -295,6 +324,7 @@ def _compare(
     query: str,
     expected: BackendResult,
     actual: BackendResult,
+    candidate_label: Optional[str] = None,
 ) -> DifferentialOutcome:
     matched = expected.rows == actual.rows
     missing: Tuple[str, ...] = ()
@@ -308,7 +338,7 @@ def _compare(
         query_name=query_name,
         query=query,
         reference_backend=expected.backend,
-        candidate_backend=actual.backend,
+        candidate_backend=candidate_label or actual.backend,
         reference_rows=expected.row_count,
         candidate_rows=actual.row_count,
         matched=matched,

@@ -50,12 +50,22 @@ from repro.errors import ExecutionError
 from repro.relational.algebra import Program
 from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema, F, NODE_COLUMNS, T, V
-from repro.relational.sqlgen import SQLDialect, program_statements
+from repro.relational.sqlgen import SQLDialect, program_statements, quote_identifier
 
 __all__ = ["SqliteBackend", "sqlite_schema_ddl", "IDENTITY_VIEW"]
 
 # Name of the view the SQL renderer scans for the identity relation R_id.
 IDENTITY_VIEW = "ALL_NODES"
+
+
+def _quoted(name: str) -> str:
+    """Unconditionally quote an identifier for generated DDL/DML.
+
+    Relation names come from DTD element names, which may contain ``-`` or
+    ``.`` (and, via custom mappings, in principle anything) — every
+    identifier in generated DDL/DML goes through the one shared escaper.
+    """
+    return quote_identifier(name, always=True)
 
 
 def sqlite_schema_ddl(schema: DatabaseSchema) -> List[str]:
@@ -69,15 +79,16 @@ def sqlite_schema_ddl(schema: DatabaseSchema) -> List[str]:
     statements: List[str] = []
     for name in schema.relation_names:
         relation = schema.relation(name)
-        columns = ", ".join(f'"{column}" TEXT' for column in relation.columns)
-        statements.append(f'CREATE TABLE "{name}" ({columns})')
+        columns = ", ".join(f"{_quoted(column)} TEXT" for column in relation.columns)
+        statements.append(f"CREATE TABLE {_quoted(name)} ({columns})")
         for column in (F, T):
             if relation.has_column(column):
                 statements.append(
-                    f'CREATE INDEX "idx_{name}_{column}" ON "{name}" ("{column}")'
+                    f"CREATE INDEX {_quoted(f'idx_{name}_{column}')} "
+                    f"ON {_quoted(name)} ({_quoted(column)})"
                 )
     node_selects = [
-        f'SELECT {F}, {T}, {V} FROM "{name}"'
+        f"SELECT {F}, {T}, {V} FROM {_quoted(name)}"
         for name in schema.node_relations
         if tuple(schema.relation(name).columns) == NODE_COLUMNS
     ]
@@ -199,7 +210,7 @@ class SqliteBackend(Backend):
             width = len(relation.columns)
             placeholders = ", ".join("?" * width)
             connection.executemany(
-                f'INSERT INTO "{name}" VALUES ({placeholders})',
+                f"INSERT INTO {_quoted(name)} VALUES ({placeholders})",
                 [tuple(str(value) for value in row) for row in relation.rows],
             )
         connection.commit()
@@ -278,7 +289,7 @@ class SqliteBackend(Backend):
                 elapsed += time.perf_counter() - start
                 created.append(target)
                 if instrument:
-                    cursor.execute(f'SELECT COUNT(*) FROM "{target}"')
+                    cursor.execute(f"SELECT COUNT(*) FROM {_quoted(target)}")
                     tuples_materialized += cursor.fetchone()[0]
             start = time.perf_counter()
             cursor.execute(plan.statements[-1])
@@ -290,7 +301,7 @@ class SqliteBackend(Backend):
         finally:
             for name in created:
                 try:
-                    cursor.execute(f'DROP TABLE IF EXISTS temp."{name}"')
+                    cursor.execute(f"DROP TABLE IF EXISTS temp.{_quoted(name)}")
                 except sqlite3.Error:
                     # Best-effort teardown: a failed DROP (e.g. close() raced
                     # an in-flight query on another thread) must not mask the

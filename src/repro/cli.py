@@ -25,6 +25,16 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     ``BENCH_3.json`` report (``--out``); ``--quick`` is the tiny-budget CI
     smoke configuration.
 
+``bench-optimizer``
+    Compare translation + execution across program-optimizer levels 0/1/2
+    on the recursive workloads (plus the schema-dead-query collapse and the
+    auto-strategy scenarios) and optionally write the ``BENCH_4.json``
+    report (``--out``).
+
+Most query-translating subcommands take ``--optimize-level {0,1,2}``
+(program-optimizer level, default 2) and accept ``--strategy auto`` for
+per-query descendant-strategy selection.
+
 ``experiment``
     Run one of the paper's experiments (exp1..exp5) with ``--quick`` sweeps
     and an optional ``--backend`` axis.
@@ -54,6 +64,8 @@ Examples
     python -m repro translate dept "dept//project" --dialect db2
     python -m repro translate cross "a/b//c/d" --strategy recursive-union
     python -m repro translate cross "a//d" --dialect sqlite
+    python -m repro translate cross "a//d" --strategy auto --optimize-level 2
+    python -m repro bench-optimizer --quick --out BENCH_4.json
     python -m repro answer cross "a//d" --elements 2000 --seed 7
     python -m repro answer cross "a//d" --backend sqlite
     python -m repro answer cross "a//d" --repeat 50
@@ -76,12 +88,17 @@ import time
 from typing import List, Optional
 
 from repro.backends import backend_names
-from repro.core.optimize import push_selection_options, standard_options
+from repro.core.optimize import (
+    OPTIMIZE_LEVELS,
+    push_selection_options,
+    standard_options,
+)
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.dtd import samples
+from repro.errors import ReproError
 from repro.relational.sqlgen import SQLDialect
 from repro.xmltree.generator import generate_document
 
@@ -91,6 +108,7 @@ _STRATEGIES = {
     "cycleex": DescendantStrategy.CYCLEEX,
     "cyclee": DescendantStrategy.CYCLEE,
     "recursive-union": DescendantStrategy.RECURSIVE_UNION,
+    "auto": DescendantStrategy.AUTO,
 }
 
 _DIALECTS = {
@@ -143,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply the Sect. 5.2 push-selection optimisation",
     )
     translate.add_argument(
+        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
+        help="program-optimizer level (default: 2)",
+    )
+    translate.add_argument(
         "--show", choices=["extended", "program", "sql", "all"], default="all",
         help="which artifact(s) to print",
     )
@@ -171,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the translation-plan cache (every repeat re-translates)",
     )
+    answer.add_argument(
+        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
+        help="program-optimizer level (default: 2)",
+    )
 
     experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=["exp1", "exp2", "exp3", "exp4", "exp5"])
@@ -186,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--elements", type=int, default=None,
         help="document element budget for exp1-exp4 (default: each experiment's sweep)",
+    )
+    experiment.add_argument(
+        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
+        help="program-optimizer level for exp1-exp4 (default: 2)",
     )
 
     diff = commands.add_parser(
@@ -272,6 +302,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="PATH", default=None,
         help="replay a saved corpus (a .json case file or a directory) instead of fuzzing",
     )
+    fuzz.add_argument(
+        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
+        help="pin the program-optimizer level of every engine (default: the "
+        "pipeline default, plus a level-0 sentinel engine)",
+    )
+
+    bench_optimizer = commands.add_parser(
+        "bench-optimizer",
+        help="measure translation+execution across optimizer levels 0/1/2",
+    )
+    bench_optimizer.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget (default: 1200, or the --quick budget)",
+    )
+    bench_optimizer.add_argument(
+        "--repeats", type=int, default=None,
+        help="translate/execute repetitions per rung (default: 5, or the --quick budget)",
+    )
+    bench_optimizer.add_argument(
+        "--quick", action="store_true",
+        help="tiny-budget defaults (CI smoke); explicit flags still override",
+    )
+    bench_optimizer.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report (BENCH_4.json format) to PATH",
+    )
 
     return parser
 
@@ -287,8 +343,16 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_translate(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd)
     options = push_selection_options() if args.push_selections else standard_options()
-    translator = XPathToSQLTranslator(dtd, strategy=_STRATEGIES[args.strategy], options=options)
+    translator = XPathToSQLTranslator(
+        dtd,
+        strategy=_STRATEGIES[args.strategy],
+        options=options,
+        optimize_level=args.optimize_level,
+    )
     result = translator.translate(args.query)
+    if args.strategy == "auto" and result.strategy is not None:
+        print(f"-- strategy: auto -> {result.strategy.value} --")
+        print()
     if args.show in ("extended", "all"):
         print("-- extended XPath --")
         print(result.extended)
@@ -323,6 +387,7 @@ def _cmd_answer(args: argparse.Namespace) -> int:
         strategy=_STRATEGIES[args.strategy],
         backend=args.backend,
         cache_capacity=0 if args.no_cache else 128,
+        optimize_level=args.optimize_level,
     ) as service:
         store = service.register_document("doc", document)
         executed = service.execute(args.query)
@@ -372,11 +437,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         execution_flags.append(f"--seed={args.seed}")
     if args.elements is not None:
         execution_flags.append(f"--elements={args.elements}")
+    if args.optimize_level is not None:
+        execution_flags.append(f"--optimize-level={args.optimize_level}")
     if execution_flags:
         if args.name == "exp5":
-            # Exp-5 reports static operator counts; nothing executes and no
-            # document is generated.
-            print("note: exp5 is translation-only, --backend/--seed/--elements have no effect")
+            # Exp-5 reports static operator counts of the raw lowering;
+            # nothing executes and no document is generated.
+            print(
+                "note: exp5 is translation-only, "
+                "--backend/--seed/--elements/--optimize-level have no effect"
+            )
         else:
             argv.extend(execution_flags)
     return module.main(argv)
@@ -471,7 +541,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         unknown = [name for name in backends if name not in known]
         if unknown:
             raise SystemExit(f"unknown backend(s) {unknown} (known: {', '.join(sorted(known))})")
-    engines = default_engines(backends=backends, strategies=strategies)
+    engines = default_engines(
+        backends=backends, strategies=strategies, optimize_level=args.optimize_level
+    )
 
     if args.replay:
         try:
@@ -510,8 +582,40 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_optimizer(args: argparse.Namespace) -> int:
+    from repro.core.optbench import (
+        OptimizerBenchConfig,
+        describe_report,
+        run_optimizer_benchmark,
+        write_report,
+    )
+
+    from dataclasses import replace
+
+    config = OptimizerBenchConfig.quick() if args.quick else OptimizerBenchConfig()
+    overrides = {
+        name: value
+        for name, value in (("elements", args.elements), ("repeats", args.repeats))
+        if value is not None
+    }
+    if any(value < 1 for value in overrides.values()):
+        raise SystemExit("--elements and --repeats must be >= 1")
+    config = replace(config, **overrides)
+    report = run_optimizer_benchmark(config)
+    print(describe_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (malformed DTDs, unparseable queries, translation
+    failures) exit non-zero with a one-line message instead of a traceback;
+    genuine bugs still surface as tracebacks.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -522,9 +626,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "generate": _cmd_generate,
         "bench-service": _cmd_bench_service,
+        "bench-optimizer": _cmd_bench_optimizer,
         "fuzz": _cmd_fuzz,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via repro.__main__

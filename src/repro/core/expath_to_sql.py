@@ -72,7 +72,12 @@ from repro.relational.algebra import (
 from repro.relational.schema import F, T, V
 from repro.shredding.inlining import ROOT_PARENT, SimpleMapping
 
-__all__ = ["TranslationOptions", "ExtendedToSQL", "extended_to_sql"]
+__all__ = ["IMPOSSIBLE_F", "TranslationOptions", "ExtendedToSQL", "extended_to_sql"]
+
+# F-column sentinel that matches no node id and no root parent: selecting
+# it from R_id is the lowering's encoding of the constant-empty relation.
+# The optimizer's reachability analysis recognises it by this exact value.
+IMPOSSIBLE_F = "__none__"
 
 
 @dataclass(frozen=True)
@@ -229,7 +234,7 @@ class _Lowering:
     def _translate(self, expr: Expr, left: Optional[Scan]) -> RAExpr:
         if isinstance(expr, EEmptySet):
             # An empty relation: selecting an impossible F value from R_id.
-            return Select(IdentityRelation(), (Condition(F, "=", "__none__"),))
+            return Select(IdentityRelation(), (Condition(F, "=", IMPOSSIBLE_F),))
         if isinstance(expr, EEmpty):
             return self._identity_for(left)
         if isinstance(expr, ELabel):
@@ -285,7 +290,7 @@ class _Lowering:
             source = self._t.mapping.dtd.root
         nodes, edges = self._t.descendant_types(source, expr.target)
         if not nodes:
-            return Select(IdentityRelation(), (Condition(F, "=", "__none__"),))
+            return Select(IdentityRelation(), (Condition(F, "=", IMPOSSIBLE_F),))
 
         # Initialization: edges leaving a source-typed node, restricted (via
         # a semi-join) to actual source nodes — or to the preceding step's
@@ -299,7 +304,7 @@ class _Lowering:
             restricted = SemiJoin(child_scan, restrict, left_column=F, right_column=T)
             init_parts.append(TagProject(restricted, child))
         if not init_parts:
-            return Select(IdentityRelation(), (Condition(F, "=", "__none__"),))
+            return Select(IdentityRelation(), (Condition(F, "=", IMPOSSIBLE_F),))
 
         init_union: RAExpr = init_parts[0] if len(init_parts) == 1 else Union(tuple(init_parts))
         steps = tuple(

@@ -1,0 +1,346 @@
+"""The optimizer benchmark: translation + execution across optimizer levels.
+
+One harness feeds both ``repro bench-optimizer`` and
+``benchmarks/test_bench_optimizer.py`` (which writes the committed
+``BENCH_4.json``), so the CI smoke run and the asserted benchmark measure
+exactly the same scenarios:
+
+``levels``
+    The recursive paper workloads (dept, cross, gedml) translated and
+    executed at optimizer levels 0/1/2 on both backends.  Level 0 is the
+    raw Fig. 10 lowering; level 1 adds CSE, selection/projection collapse
+    and dead-code elimination; level 2 adds DTD-graph reachability pruning.
+    Every level must return byte-identical result sets; the report records
+    program sizes (assignments, operators) and wall time per rung.
+
+``empty_queries``
+    Schema-dead queries (steps the DTD proves can match nothing).  The
+    level-2 reachability pass collapses the whole program to a constant
+    empty relation; levels 0/1 still scan the identity relation.  This is
+    the "collapse the whole subprogram" acceptance case of Issue 4.
+
+``auto_strategy``
+    Per-query automatic descendant-strategy selection: what
+    :func:`repro.core.optimize.select_strategy` resolves for each workload
+    query, plus the recursion-free (LFP-less) programs it buys on the
+    non-recursive library workload.
+
+Every scenario cross-checks results between levels and backends — a
+benchmark that got faster by being wrong must fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.backends import create_backend
+from repro.core.optimize import OPTIMIZE_LEVELS, select_strategy
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.core.xpath_to_expath import DescendantStrategy
+from repro.dtd import samples
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.shredding.shredder import shred_document
+from repro.workloads.queries import (
+    CROSS_QUERIES,
+    DEPT_QUERIES,
+    GEDML_QUERY,
+    SCALABILITY_QUERY,
+)
+from repro.xmltree.generator import generate_document
+
+__all__ = [
+    "OptimizerBenchConfig",
+    "run_optimizer_benchmark",
+    "describe_report",
+    "write_report",
+]
+
+BENCH_NAME = "optimizer-levels"
+BENCH_ISSUE = 4
+
+# Queries the DTD graph proves empty (the level-2 collapse cases); all are
+# over the cross DTD whose root is `a`.
+EMPTY_QUERIES: Dict[str, str] = {
+    "E1": "b",        # b is not the document root
+    "E2": "a/a",      # a has no a child
+    "E3": "b//d",     # dead from the virtual root
+}
+
+
+@dataclass(frozen=True)
+class OptimizerBenchConfig:
+    """Knobs of one benchmark run (the defaults are the committed baseline)."""
+
+    elements: int = 1200
+    repeats: int = 5
+    seed: int = 13
+
+    @classmethod
+    def quick(cls) -> "OptimizerBenchConfig":
+        """A tiny-budget configuration for CI smoke runs."""
+        return cls(elements=300, repeats=2)
+
+
+def _library_dtd() -> DTD:
+    """A small non-recursive DTD (auto picks unfolding here)."""
+    return parse_dtd(
+        "root library\n"
+        "library -> shelf*\n"
+        "shelf -> book*\n"
+        "book -> title, author*\n"
+        "title -> EMPTY #text\n"
+        "author -> EMPTY #text\n",
+        name="library",
+    )
+
+
+def _recursive_workloads(config: OptimizerBenchConfig):
+    dept = samples.dept_dtd()
+    cross = samples.cross_dtd()
+    gedml = samples.gedml_dtd()
+    return [
+        (
+            "dept",
+            dept,
+            dict(DEPT_QUERIES),
+            generate_document(
+                dept, x_l=8, x_r=3, seed=config.seed, max_elements=config.elements
+            ),
+        ),
+        (
+            "cross",
+            cross,
+            {**CROSS_QUERIES, "Qs": SCALABILITY_QUERY},
+            generate_document(
+                cross, x_l=10, x_r=3, seed=config.seed, max_elements=config.elements
+            ),
+        ),
+        (
+            "gedml",
+            gedml,
+            {"Qg": GEDML_QUERY},
+            generate_document(
+                gedml, x_l=8, x_r=3, seed=config.seed, max_elements=config.elements
+            ),
+        ),
+    ]
+
+
+def _measure_level(
+    dtd: DTD,
+    queries: Dict[str, str],
+    shredded,
+    level: int,
+    repeats: int,
+) -> Tuple[Dict[str, object], Dict[str, frozenset]]:
+    """Translate + execute every query at one level; return (stats, results)."""
+    translator = XPathToSQLTranslator(dtd, optimize_level=level)
+    programs = {}
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for name, query in queries.items():
+            programs[name] = translator.translate(query).program
+    translation_seconds = time.perf_counter() - start
+
+    assignments = sum(len(program) for program in programs.values())
+    operators = sum(
+        program.operator_profile().total for program in programs.values()
+    )
+
+    execution: Dict[str, float] = {}
+    results: Dict[str, frozenset] = {}
+    for backend_name in ("memory", "sqlite"):
+        backend = create_backend(backend_name, shredded.database)
+        try:
+            elapsed = 0.0
+            for _ in range(repeats):
+                for name, program in programs.items():
+                    executed = backend.execute(program)
+                    elapsed += executed.stats["elapsed_seconds"]
+                    ids = frozenset(executed.node_ids())
+                    key = f"{backend_name}:{name}"
+                    previous = results.get(key)
+                    assert previous is None or previous == ids
+                    results[key] = ids
+            execution[backend_name] = elapsed
+        finally:
+            backend.close()
+
+    stats = {
+        "translation_seconds": translation_seconds,
+        "execution_seconds": execution,
+        "total_seconds": translation_seconds + sum(execution.values()),
+        "assignments": assignments,
+        "operators": operators,
+    }
+    return stats, results
+
+
+def _bench_levels(config: OptimizerBenchConfig) -> Dict[str, object]:
+    per_workload: List[Dict[str, object]] = []
+    all_match = True
+    for label, dtd, queries, tree in _recursive_workloads(config):
+        shredded = shred_document(tree, dtd)
+        by_level: Dict[str, Dict[str, object]] = {}
+        results_by_level: Dict[int, Dict[str, frozenset]] = {}
+        for level in OPTIMIZE_LEVELS:
+            stats, results = _measure_level(
+                dtd, queries, shredded, level, config.repeats
+            )
+            by_level[str(level)] = stats
+            results_by_level[level] = results
+        matched = all(
+            results_by_level[level] == results_by_level[OPTIMIZE_LEVELS[0]]
+            for level in OPTIMIZE_LEVELS
+        )
+        all_match = all_match and matched
+        level0 = by_level[str(OPTIMIZE_LEVELS[0])]
+        level2 = by_level[str(OPTIMIZE_LEVELS[-1])]
+        per_workload.append(
+            {
+                "workload": label,
+                "document_elements": tree.size(),
+                "queries": len(queries),
+                "levels": by_level,
+                "operator_reduction": level0["operators"] - level2["operators"],
+                "assignment_reduction": level0["assignments"] - level2["assignments"],
+                "total_speedup": (
+                    level0["total_seconds"] / level2["total_seconds"]
+                    if level2["total_seconds"]
+                    else float("inf")
+                ),
+                "results_match": matched,
+            }
+        )
+    return {"workloads": per_workload, "results_match": all_match}
+
+
+def _bench_empty_queries(config: OptimizerBenchConfig) -> Dict[str, object]:
+    dtd = samples.cross_dtd()
+    tree = generate_document(
+        dtd, x_l=10, x_r=3, seed=config.seed, max_elements=config.elements
+    )
+    shredded = shred_document(tree, dtd)
+    by_level: Dict[str, Dict[str, object]] = {}
+    all_empty = True
+    for level in OPTIMIZE_LEVELS:
+        stats, results = _measure_level(
+            dtd, EMPTY_QUERIES, shredded, level, config.repeats
+        )
+        by_level[str(level)] = stats
+        all_empty = all_empty and all(not ids for ids in results.values())
+    collapsed = by_level[str(OPTIMIZE_LEVELS[-1])]["assignments"] == 0
+    return {
+        "document_elements": tree.size(),
+        "queries": len(EMPTY_QUERIES),
+        "levels": by_level,
+        "level2_fully_collapsed": collapsed,
+        "results_match": all_empty,
+    }
+
+
+def _bench_auto_strategy(config: OptimizerBenchConfig) -> Dict[str, object]:
+    resolutions: Dict[str, str] = {}
+    for label, dtd, queries, _ in _recursive_workloads(config):
+        for name, query in queries.items():
+            resolutions[f"{label}:{name}"] = select_strategy(dtd, query).value
+
+    # The non-recursive workload: auto must pick unfolding, which produces
+    # recursion-free programs (no LFP operators at all).
+    library = _library_dtd()
+    library_queries = {
+        "L1": "library//title",
+        "L2": "library//book[author]/title",
+    }
+    lfps: Dict[str, Dict[str, int]] = {}
+    for mode, strategy in (
+        ("auto", DescendantStrategy.AUTO),
+        ("cycleex", DescendantStrategy.CYCLEEX),
+    ):
+        translator = XPathToSQLTranslator(library, strategy=strategy)
+        lfps[mode] = {
+            name: translator.translate(query).operator_profile().lfps
+            for name, query in library_queries.items()
+        }
+        if mode == "auto":
+            for name, query in library_queries.items():
+                resolutions[f"library:{name}"] = select_strategy(library, query).value
+    return {
+        "resolutions": resolutions,
+        "library_lfps": lfps,
+        "library_recursion_free": all(count == 0 for count in lfps["auto"].values()),
+    }
+
+
+def run_optimizer_benchmark(
+    config: Optional[OptimizerBenchConfig] = None,
+) -> Dict[str, object]:
+    """Run every scenario and return the (JSON-serializable) report."""
+    config = config or OptimizerBenchConfig()
+    levels = _bench_levels(config)
+    empty = _bench_empty_queries(config)
+    auto = _bench_auto_strategy(config)
+    report: Dict[str, object] = {
+        "bench": BENCH_NAME,
+        "issue": BENCH_ISSUE,
+        "created_unix": int(time.time()),
+        "config": asdict(config),
+        "scenarios": {
+            "levels": levels,
+            "empty_queries": empty,
+            "auto_strategy": auto,
+        },
+    }
+    report["ok"] = bool(
+        levels["results_match"]
+        and empty["results_match"]
+        and empty["level2_fully_collapsed"]
+        and auto["library_recursion_free"]
+    )
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write a report as pretty-printed JSON (the ``BENCH_4.json`` format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def describe_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI output)."""
+    scenarios = report["scenarios"]
+    lines = [
+        f"optimizer benchmark ({report['bench']}, "
+        f"{report['config']['elements']} elements, "
+        f"{report['config']['repeats']} repeat(s))"
+    ]
+    for entry in scenarios["levels"]["workloads"]:
+        level0 = entry["levels"]["0"]
+        level2 = entry["levels"]["2"]
+        lines.append(
+            f"  {entry['workload']}: operators {level0['operators']} -> "
+            f"{level2['operators']} (-{entry['operator_reduction']}), "
+            f"total {level0['total_seconds']:.3f}s -> {level2['total_seconds']:.3f}s "
+            f"({entry['total_speedup']:.2f}x)"
+        )
+    empty = scenarios["empty_queries"]
+    empty0 = empty["levels"]["0"]
+    empty2 = empty["levels"]["2"]
+    lines.append(
+        f"  empty queries: total {empty0['total_seconds']:.3f}s -> "
+        f"{empty2['total_seconds']:.3f}s, level-2 programs fully collapsed: "
+        f"{empty['level2_fully_collapsed']}"
+    )
+    auto = scenarios["auto_strategy"]
+    chosen = sorted(set(auto["resolutions"].values()))
+    lines.append(
+        f"  auto strategy: resolutions use {', '.join(chosen)}; "
+        f"library workload recursion-free: {auto['library_recursion_free']}"
+    )
+    lines.append(f"  results match: {report['ok']}")
+    return "\n".join(lines)

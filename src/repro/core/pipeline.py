@@ -21,6 +21,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union as TUnion
 
 from repro.core.expath_to_sql import ExtendedToSQL, TranslationOptions
+from repro.core.optimize import (
+    DEFAULT_OPTIMIZE_LEVEL,
+    OPTIMIZE_LEVELS,
+    ProgramOptimizer,
+    select_strategy,
+)
 from repro.core.plancache import (
     PlanCache,
     PlanKey,
@@ -29,6 +35,7 @@ from repro.core.plancache import (
     options_fingerprint,
 )
 from repro.core.xpath_to_expath import DescendantStrategy, XPathToExtended
+from repro.dtd.graph import DTDGraph
 from repro.dtd.model import DTD
 from repro.expath.ast import ExtendedXPathQuery
 from repro.expath.metrics import OperatorCounts, count_operators
@@ -68,6 +75,8 @@ class TranslationResult:
     extended: ExtendedXPathQuery
     program: Program
     translation_seconds: float
+    strategy: Optional[DescendantStrategy] = None
+    optimize_level: int = DEFAULT_OPTIMIZE_LEVEL
 
     def operator_profile(self) -> OperatorProfile:
         """Operator counts of the relational program (Table 5 quantities)."""
@@ -126,13 +135,33 @@ class XPathToSQLTranslator:
         mapping: Optional[SimpleMapping] = None,
         plan_cache: Optional[PlanCache] = None,
         cache_dialect: SQLDialect = SQLDialect.GENERIC,
+        optimize_level: Optional[int] = None,
     ) -> None:
+        level = DEFAULT_OPTIMIZE_LEVEL if optimize_level is None else optimize_level
+        if level not in OPTIMIZE_LEVELS:
+            raise ValueError(
+                f"optimize_level must be one of {OPTIMIZE_LEVELS}, got {optimize_level!r}"
+            )
         self._dtd = dtd
         self._mapping = mapping or SimpleMapping(dtd)
         self._strategy = strategy
         self._options = options or TranslationOptions()
-        self._front_end = XPathToExtended(dtd, strategy=strategy)
+        # Front ends are created lazily per concrete strategy: the AUTO
+        # strategy resolves per query and may use several of them.
+        self._front_ends: Dict[DescendantStrategy, XPathToExtended] = {}
+        self._graph: Optional[DTDGraph] = None
+        # Per-canonical-query memo of AUTO resolutions: selection is
+        # deterministic per (DTD, query), and without this every warm-path
+        # plan_key() would re-run the SCC/reachability analysis.  Bounded so
+        # an unbounded query stream cannot grow it without limit.
+        self._resolved_strategies: Dict[str, DescendantStrategy] = {}
+        if strategy is not DescendantStrategy.AUTO:
+            self._front_ends[strategy] = XPathToExtended(dtd, strategy=strategy)
         self._back_end = ExtendedToSQL(self._mapping, self._options)
+        self._optimize_level = level
+        self._optimizer = ProgramOptimizer(
+            dtd=dtd, mapping=self._mapping, level=level
+        )
         self._plan_cache = plan_cache
         self._cache_dialect = cache_dialect
         self._dtd_fingerprint: Optional[str] = None
@@ -162,6 +191,11 @@ class XPathToSQLTranslator:
         return self._options
 
     @property
+    def optimize_level(self) -> int:
+        """The program-optimizer level applied after lowering."""
+        return self._optimize_level
+
+    @property
     def plan_cache(self) -> Optional[PlanCache]:
         """The plan cache consulted by :meth:`translate` (``None`` = uncached)."""
         return self._plan_cache
@@ -172,9 +206,35 @@ class XPathToSQLTranslator:
     def _parse(query: QueryLike) -> Path:
         return parse_xpath(query) if isinstance(query, str) else query
 
+    _RESOLUTION_MEMO_LIMIT = 4096
+
+    def resolve_strategy(self, query: QueryLike) -> DescendantStrategy:
+        """The concrete strategy used for ``query`` (resolves ``AUTO``)."""
+        if self._strategy is not DescendantStrategy.AUTO:
+            return self._strategy
+        path = self._parse(query)
+        canonical = str(path)
+        resolved = self._resolved_strategies.get(canonical)
+        if resolved is None:
+            if self._graph is None:
+                self._graph = DTDGraph(self._dtd)
+            resolved = select_strategy(self._dtd, path, graph=self._graph)
+            if len(self._resolved_strategies) >= self._RESOLUTION_MEMO_LIMIT:
+                self._resolved_strategies.clear()
+            self._resolved_strategies[canonical] = resolved
+        return resolved
+
+    def _front_end_for(self, strategy: DescendantStrategy) -> XPathToExtended:
+        front_end = self._front_ends.get(strategy)
+        if front_end is None:
+            front_end = XPathToExtended(self._dtd, strategy=strategy)
+            self._front_ends[strategy] = front_end
+        return front_end
+
     def to_extended(self, query: QueryLike) -> ExtendedXPathQuery:
         """Step 1 only: rewrite to extended XPath."""
-        return self._front_end.translate(self._parse(query))
+        path = self._parse(query)
+        return self._front_end_for(self.resolve_strategy(path)).translate(path)
 
     def lower_extended(self, extended: ExtendedXPathQuery) -> Program:
         """Step 2 only: lower an extended XPath query to a relational program."""
@@ -193,13 +253,15 @@ class XPathToSQLTranslator:
             self._options_fingerprint = options_fingerprint(self._options)
         if self._mapping_fingerprint is None:
             self._mapping_fingerprint = mapping_fingerprint(self._mapping)
+        path = self._parse(query)
         return PlanKey(
             dtd=self._dtd_fingerprint,
-            query=str(self._parse(query)),
-            strategy=self._strategy.value,
+            query=str(path),
+            strategy=self.resolve_strategy(path).value,
             options=self._options_fingerprint,
             dialect=self._cache_dialect.value,
             mapping=self._mapping_fingerprint,
+            optimize=str(self._optimize_level),
         )
 
     def translate(self, query: QueryLike) -> TranslationResult:
@@ -217,11 +279,18 @@ class XPathToSQLTranslator:
 
     def _translate_fresh(self, path: Path) -> TranslationResult:
         start = time.perf_counter()
-        extended = self._front_end.translate(path)
+        strategy = self.resolve_strategy(path)
+        extended = self._front_end_for(strategy).translate(path)
         program = self._back_end.translate(extended)
+        program = self._optimizer.run(program)
         elapsed = time.perf_counter() - start
         return TranslationResult(
-            xpath=path, extended=extended, program=program, translation_seconds=elapsed
+            xpath=path,
+            extended=extended,
+            program=program,
+            translation_seconds=elapsed,
+            strategy=strategy,
+            optimize_level=self._optimize_level,
         )
 
     def to_sql(self, query: QueryLike, dialect: SQLDialect = SQLDialect.GENERIC) -> str:
@@ -262,8 +331,11 @@ def answer_xpath(
     dtd: DTD,
     strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
     options: Optional[TranslationOptions] = None,
+    optimize_level: Optional[int] = None,
 ) -> List[XMLNode]:
     """One-shot helper: shred ``tree`` and answer ``query`` through the RDBMS path."""
-    translator = XPathToSQLTranslator(dtd, strategy=strategy, options=options)
+    translator = XPathToSQLTranslator(
+        dtd, strategy=strategy, options=options, optimize_level=optimize_level
+    )
     shredded = translator.shred(tree)
     return translator.answer(query, shredded)

@@ -90,7 +90,12 @@ class PlanKey:
 
     Everything translation output depends on is in the key; the document is
     deliberately *not* (plans are document-independent, which is the whole
-    point of caching them).
+    point of caching them).  ``optimize`` records the optimizer level the
+    program was rewritten at (PR 4): plans produced at different levels are
+    semantically identical but structurally different, so they must not
+    alias.  For the ``auto`` strategy the *resolved* per-query strategy is
+    recorded, so an auto translator and an explicit one sharing a cache
+    converge on the same entry.
     """
 
     dtd: str
@@ -99,6 +104,7 @@ class PlanKey:
     options: str
     dialect: str
     mapping: str
+    optimize: str = "2"
 
 
 def plan_key(
@@ -108,8 +114,14 @@ def plan_key(
     options: Optional[TranslationOptions] = None,
     dialect: SQLDialect = SQLDialect.GENERIC,
     mapping: Optional[SimpleMapping] = None,
+    optimize_level: Optional[int] = None,
 ) -> PlanKey:
     """Build the :class:`PlanKey` for one (DTD, query, configuration) point."""
+    from repro.core.optimize import DEFAULT_OPTIMIZE_LEVEL, select_strategy
+
+    if strategy is DescendantStrategy.AUTO:
+        strategy = select_strategy(dtd, query)
+    level = DEFAULT_OPTIMIZE_LEVEL if optimize_level is None else optimize_level
     return PlanKey(
         dtd=dtd_fingerprint(dtd),
         query=str(query),
@@ -117,6 +129,7 @@ def plan_key(
         options=options_fingerprint(options or TranslationOptions()),
         dialect=dialect.value,
         mapping=mapping_fingerprint(mapping or SimpleMapping(dtd)),
+        optimize=str(level),
     )
 
 

@@ -88,11 +88,19 @@ _FALSE = False
 
 
 class DescendantStrategy(enum.Enum):
-    """How the descendant axis ``//`` is expanded over the DTD."""
+    """How the descendant axis ``//`` is expanded over the DTD.
+
+    ``AUTO`` is resolved *per query* by the pipeline
+    (:func:`repro.core.optimize.select_strategy`): Tarjan SCC stats of the
+    DTD region the query's ``//`` steps touch pick cyclic-reach (CycleEX)
+    or bounded unfolding (CycleE).  :class:`XPathToExtended` itself only
+    accepts concrete strategies.
+    """
 
     CYCLEEX = "cycleex"
     CYCLEE = "cyclee"
     RECURSIVE_UNION = "recursive-union"
+    AUTO = "auto"
 
 
 class XPathToExtended:
@@ -109,6 +117,11 @@ class XPathToExtended:
         strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
         simplify: bool = True,
     ) -> None:
+        if strategy is DescendantStrategy.AUTO:
+            raise ValueError(
+                "DescendantStrategy.AUTO must be resolved per query by the "
+                "pipeline (XPathToSQLTranslator); pass a concrete strategy"
+            )
         self._dtd = dtd
         self._graph = DTDGraph(dtd)
         self._strategy = strategy

@@ -127,6 +127,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     backend = parse_backend_arg(argv)
     seed = parse_int_arg(argv, "--seed", 11)
     elements = parse_int_arg(argv, "--elements")
+    optimize_level = parse_int_arg(argv, "--optimize-level")
+    approaches = (
+        default_approaches(optimize_level=optimize_level)
+        if optimize_level is not None
+        else None
+    )
     quick = "--quick" in argv
     if quick:
         rows = run(
@@ -135,9 +141,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             xr_values=(4, 8),
             seed=seed,
             backend=backend,
+            approaches=approaches,
         )
     else:
-        rows = run(max_elements=elements, seed=seed, backend=backend)
+        rows = run(max_elements=elements, seed=seed, backend=backend, approaches=approaches)
     print("Exp-1 (Fig. 12): Qa-Qd over the cross-cycle DTD")
     print(summarize(rows))
     return 0

@@ -90,12 +90,17 @@ def run(
     scale: int = 16,
     seed: int = 23,
     backend: str = "memory",
+    optimize_level: Optional[int] = None,
 ) -> List[PushMeasurement]:
     """Run the Fig. 13 sweep; selected-set sizes are scaled like the dataset."""
     max_elements = max_elements or scaled_elements(PAPER_ELEMENTS)
     dtd = cross_dtd()
-    push = Approach("push", DescendantStrategy.CYCLEEX, push_selection_options())
-    nopush = Approach("no-push", DescendantStrategy.CYCLEEX, standard_options())
+    push = Approach(
+        "push", DescendantStrategy.CYCLEEX, push_selection_options(), optimize_level
+    )
+    nopush = Approach(
+        "no-push", DescendantStrategy.CYCLEEX, standard_options(), optimize_level
+    )
     results: List[PushMeasurement] = []
     for query_name, (template, label) in QUERY_TEMPLATES.items():
         for paper_selected in selected_sizes:
@@ -156,6 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     backend = parse_backend_arg(argv)
     seed = parse_int_arg(argv, "--seed", 23)
     elements = parse_int_arg(argv, "--elements")
+    optimize_level = parse_int_arg(argv, "--optimize-level")
     quick = "--quick" in argv
     if quick:
         rows = run(
@@ -163,9 +169,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             selected_sizes=(100, 1000),
             seed=seed,
             backend=backend,
+            optimize_level=optimize_level,
         )
     else:
-        rows = run(max_elements=elements, seed=seed, backend=backend)
+        rows = run(
+            max_elements=elements, seed=seed, backend=backend, optimize_level=optimize_level
+        )
     print("Exp-2 (Fig. 13): pushing selections into the LFP operator")
     print(summarize(rows))
     return 0

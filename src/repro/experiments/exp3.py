@@ -92,11 +92,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     backend = parse_backend_arg(argv)
     seed = parse_int_arg(argv, "--seed", 5)
     elements = parse_int_arg(argv, "--elements")
+    optimize_level = parse_int_arg(argv, "--optimize-level")
+    approaches = (
+        default_approaches(optimize_level=optimize_level)
+        if optimize_level is not None
+        else None
+    )
     quick = "--quick" in argv
     if quick:
-        rows = run(sizes=(elements,) if elements else (1000, 2000), seed=seed, backend=backend)
+        rows = run(
+            sizes=(elements,) if elements else (1000, 2000),
+            seed=seed,
+            backend=backend,
+            approaches=approaches,
+        )
     else:
-        rows = run(sizes=(elements,) if elements else None, seed=seed, backend=backend)
+        rows = run(
+            sizes=(elements,) if elements else None,
+            seed=seed,
+            backend=backend,
+            approaches=approaches,
+        )
     print("Exp-3 (Fig. 14): scalability of a//d over the cross-cycle DTD")
     print(summarize(rows))
     return 0

@@ -169,19 +169,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     # documents stay distinct, as in the seeded defaults.
     gedml_seed = bioml_seed + 6
     elements = parse_int_arg(argv, "--elements")
+    optimize_level = parse_int_arg(argv, "--optimize-level")
+    approaches = (
+        default_approaches(optimize_level=optimize_level)
+        if optimize_level is not None
+        else None
+    )
     quick = "--quick" in argv
     if quick:
-        bioml_rows = run_bioml(max_elements=elements or 2000, seed=bioml_seed, backend=backend)
+        bioml_rows = run_bioml(
+            max_elements=elements or 2000,
+            seed=bioml_seed,
+            backend=backend,
+            approaches=approaches,
+        )
         gedml_rows = run_gedml(
             max_elements=elements or 2000,
             xl_values=(13,),
             xr_values=(6,),
             seed=gedml_seed,
             backend=backend,
+            approaches=approaches,
         )
     else:
-        bioml_rows = run_bioml(max_elements=elements, seed=bioml_seed, backend=backend)
-        gedml_rows = run_gedml(max_elements=elements, seed=gedml_seed, backend=backend)
+        bioml_rows = run_bioml(
+            max_elements=elements, seed=bioml_seed, backend=backend, approaches=approaches
+        )
+        gedml_rows = run_gedml(
+            max_elements=elements, seed=gedml_seed, backend=backend, approaches=approaches
+        )
     print("Exp-4a (Fig. 16): BIOML cases of Table 4")
     print(summarize(bioml_rows))
     print()

@@ -57,20 +57,39 @@ class Approach:
     name: str
     strategy: DescendantStrategy
     options: TranslationOptions
+    optimize_level: Optional[int] = None
 
     def translator(self, dtd: DTD) -> XPathToSQLTranslator:
         """Build a translator for this approach over ``dtd``."""
-        return XPathToSQLTranslator(dtd, strategy=self.strategy, options=self.options)
+        return XPathToSQLTranslator(
+            dtd,
+            strategy=self.strategy,
+            options=self.options,
+            optimize_level=self.optimize_level,
+        )
 
 
-def default_approaches(include_cyclee: bool = True) -> List[Approach]:
-    """The approaches compared in Exp-1/3/4: R, E and X (in that order)."""
+def default_approaches(
+    include_cyclee: bool = True, optimize_level: Optional[int] = None
+) -> List[Approach]:
+    """The approaches compared in Exp-1/3/4: R, E and X (in that order).
+
+    ``optimize_level`` pins the program-optimizer level of every approach
+    (``None`` = the pipeline default), giving the experiments an optimizer
+    axis alongside backends.
+    """
     approaches = [
-        Approach("R", DescendantStrategy.RECURSIVE_UNION, standard_options()),
+        Approach(
+            "R", DescendantStrategy.RECURSIVE_UNION, standard_options(), optimize_level
+        ),
     ]
     if include_cyclee:
-        approaches.append(Approach("E", DescendantStrategy.CYCLEE, push_selection_options()))
-    approaches.append(Approach("X", DescendantStrategy.CYCLEEX, push_selection_options()))
+        approaches.append(
+            Approach("E", DescendantStrategy.CYCLEE, push_selection_options(), optimize_level)
+        )
+    approaches.append(
+        Approach("X", DescendantStrategy.CYCLEEX, push_selection_options(), optimize_level)
+    )
     return approaches
 
 

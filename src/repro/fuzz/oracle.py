@@ -47,17 +47,24 @@ REFERENCE_ENGINE = "evaluator"
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """One engine of the oracle: backend + strategy + optimisation level."""
+    """One engine of the oracle: backend + strategy + optimisation settings.
+
+    ``optimize_level`` is the *program-optimizer* level (PR 4's pass
+    pipeline); ``None`` means the pipeline default.  ``optimized`` controls
+    the Sect. 5.2 data-dependent lowering options, as before.
+    """
 
     backend: str
     strategy: DescendantStrategy
     optimized: bool = True
+    optimize_level: Optional[int] = None
 
     @property
     def name(self) -> str:
-        """Display name, e.g. ``memory/cycleex/opt``."""
+        """Display name, e.g. ``memory/cycleex/opt`` or ``memory/auto/opt/O0``."""
         level = "opt" if self.optimized else "baseline"
-        return f"{self.backend}/{self.strategy.value}/{level}"
+        suffix = "" if self.optimize_level is None else f"/O{self.optimize_level}"
+        return f"{self.backend}/{self.strategy.value}/{level}{suffix}"
 
     def options(self) -> TranslationOptions:
         """The lowering options this engine translates with."""
@@ -67,25 +74,45 @@ class EngineSpec:
 def default_engines(
     backends: Optional[Sequence[str]] = None,
     strategies: Optional[Sequence[DescendantStrategy]] = None,
+    optimize_level: Optional[int] = None,
 ) -> List[EngineSpec]:
     """The default grid: memory × strategies × {baseline, opt}, plus SQLite.
 
+    Every concrete strategy plus ``auto`` takes part, so the per-query
+    strategy selector is fuzzed alongside the strategies it chooses from.
     SQLite runs each strategy once (optimised) — the dialect rendering and
-    real ``WITH RECURSIVE`` execution are what it adds; the optimisation
-    axis is already covered in memory.
+    real ``WITH RECURSIVE`` execution are what it adds; the lowering-
+    optimisation axis is already covered in memory.  ``optimize_level``
+    pins the program-optimizer level of every engine (default: the
+    pipeline default); the memory/cycleex pair additionally always runs at
+    level 0, so optimizer rewrites are differentially checked against raw
+    lowering output in every sweep.
     """
     backends = list(backends or ("memory", "sqlite"))
     strategies = list(strategies or DescendantStrategy)
     engines: List[EngineSpec] = []
     if "memory" in backends:
         for strategy in strategies:
-            engines.append(EngineSpec("memory", strategy, optimized=False))
-            engines.append(EngineSpec("memory", strategy, optimized=True))
+            engines.append(
+                EngineSpec("memory", strategy, optimized=False, optimize_level=optimize_level)
+            )
+            engines.append(
+                EngineSpec("memory", strategy, optimized=True, optimize_level=optimize_level)
+            )
+        if optimize_level != 0:
+            # The unoptimized-program sentinel: raw lowering output.
+            engines.append(
+                EngineSpec(
+                    "memory", DescendantStrategy.CYCLEEX, optimized=True, optimize_level=0
+                )
+            )
     for backend in backends:
         if backend == "memory":
             continue
         for strategy in strategies:
-            engines.append(EngineSpec(backend, strategy, optimized=True))
+            engines.append(
+                EngineSpec(backend, strategy, optimized=True, optimize_level=optimize_level)
+            )
     return engines
 
 
@@ -170,9 +197,10 @@ class DifferentialOracle:
             return outcome
 
         backends: Dict[str, object] = {}
-        # Engines sharing (strategy, optimisation) run the very same program
-        # (e.g. memory/opt and sqlite/opt), so translate each point once.
-        programs: Dict[Tuple[DescendantStrategy, bool], object] = {}
+        # Engines sharing (strategy, optimisation, optimizer level) run the
+        # very same program (e.g. memory/opt and sqlite/opt), so translate
+        # each point once.
+        programs: Dict[Tuple[DescendantStrategy, bool, Optional[int]], object] = {}
         try:
             for engine in self._engines:
                 try:
@@ -180,11 +208,14 @@ class DifferentialOracle:
                     if backend is None:
                         backend = create_backend(engine.backend, shredded.database)
                         backends[engine.backend] = backend
-                    program_key = (engine.strategy, engine.optimized)
+                    program_key = (engine.strategy, engine.optimized, engine.optimize_level)
                     program = programs.get(program_key)
                     if program is None:
                         translator = XPathToSQLTranslator(
-                            dtd, strategy=engine.strategy, options=engine.options()
+                            dtd,
+                            strategy=engine.strategy,
+                            options=engine.options(),
+                            optimize_level=engine.optimize_level,
                         )
                         program = translator.translate(query).program
                         programs[program_key] = program

@@ -41,6 +41,7 @@ __all__ = [
     "Difference",
     "Intersect",
     "IdentityRelation",
+    "EmptyRelation",
     "TagProject",
     "Fixpoint",
     "EdgeStep",
@@ -241,6 +242,21 @@ class IdentityRelation(RAExpr):
 
     def __str__(self) -> str:
         return "R_id"
+
+
+@dataclass(frozen=True)
+class EmptyRelation(RAExpr):
+    """The constant-empty ``(F, T, V)`` relation.
+
+    Produced by the optimizer's reachability pruning (Sect. 5.2 spirit):
+    a sub-program the DTD graph proves can match nothing collapses to this
+    node, which costs nothing to evaluate — unlike the lowering's
+    ``sigma_{F = '__none__'}(R_id)`` encoding, which still scans the whole
+    identity relation.
+    """
+
+    def __str__(self) -> str:
+        return "EMPTY"
 
 
 @dataclass(frozen=True)

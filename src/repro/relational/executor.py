@@ -24,6 +24,7 @@ from repro.relational.algebra import (
     Assignment,
     Compose,
     Difference,
+    EmptyRelation,
     EquiJoin,
     Fixpoint,
     IdentityRelation,
@@ -135,6 +136,8 @@ class Executor:
             return self._resolve_scan(expr.name, temps, program)
         if isinstance(expr, IdentityRelation):
             return self._identity_relation()
+        if isinstance(expr, EmptyRelation):
+            return Relation(NODE_COLUMNS, set())
         if isinstance(expr, Select):
             return self._select(expr, temps, program)
         if isinstance(expr, Project):

@@ -24,12 +24,14 @@ against the in-memory executor.
 from __future__ import annotations
 
 import enum
+import re
 from typing import Dict, List, Optional
 
 from repro.relational.algebra import (
     AntiJoin,
     Compose,
     Difference,
+    EmptyRelation,
     EquiJoin,
     Fixpoint,
     IdentityRelation,
@@ -51,6 +53,7 @@ __all__ = [
     "program_to_sql",
     "program_statements",
     "expression_to_sql",
+    "quote_identifier",
 ]
 
 
@@ -67,6 +70,45 @@ def _literal(value: object) -> str:
     if value is None:
         return "NULL"
     return "'" + str(value).replace("'", "''") + "'"
+
+
+# Identifiers that parse as plain names everywhere and need no quoting.
+_PLAIN_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+# SQL keywords that would be misparsed as syntax if used as bare table
+# names.  DTD element names (hence relation names like ``R_select``) carry
+# the mapping prefix, but custom mappings and DTD names containing ``-`` or
+# ``.`` (both legal in the DTD grammar) reach the renderer verbatim.
+_RESERVED_WORDS = frozenset(
+    """
+    ALL AND AS ASC BETWEEN BY CASE CHECK COLUMN CONSTRAINT CREATE CROSS
+    CURRENT DEFAULT DELETE DESC DISTINCT DROP ELSE END ESCAPE EXCEPT EXISTS
+    FOREIGN FROM FULL GROUP HAVING IN INDEX INNER INSERT INTERSECT INTO IS
+    JOIN KEY LEFT LIKE LIMIT MINUS NATURAL NOT NULL OFFSET ON OR ORDER
+    OUTER PRIMARY RECURSIVE REFERENCES RIGHT SELECT SET TABLE TEMPORARY
+    THEN UNION UNIQUE UPDATE USING VALUES VIEW WHEN WHERE WITH
+    """.split()
+)
+
+
+def quote_identifier(name: str, always: bool = False) -> str:
+    """Render ``name`` as a SQL identifier.
+
+    By default plain alphanumeric names stay bare (keeping the emitted SQL
+    readable and the golden texts stable); names containing ``-``/``.``/
+    quotes — legal in DTD element names, hence in relation names — and
+    names colliding with SQL keywords are double-quoted with embedded
+    quotes doubled, which is the escaping every supported dialect accepts.
+    ``always=True`` quotes unconditionally (the SQLite renderer and DDL
+    generator use this so identifiers never depend on the keyword list).
+    """
+    if (
+        not always
+        and _PLAIN_IDENTIFIER_RE.match(name)
+        and name.upper() not in _RESERVED_WORDS
+    ):
+        return name
+    return '"' + name.replace('"', '""') + '"'
 
 
 class _SQLRenderer:
@@ -86,12 +128,21 @@ class _SQLRenderer:
                 # Temporaries are not always (F, T, V): the SQL'99 recursive
                 # union materialises an extra TAG column, so scans must keep
                 # whatever columns the relation actually has.  The name is
-                # quoted because DTD element names (hence relation names) may
-                # contain '-' or '.'.
-                return f'SELECT * FROM "{expr.name}"'
-            return f"SELECT {F}, {T}, {V} FROM {expr.name}"
+                # always quoted because DTD element names (hence relation
+                # names) may contain '-' or '.'.
+                return f"SELECT * FROM {quote_identifier(expr.name, always=True)}"
+            return f"SELECT {F}, {T}, {V} FROM {quote_identifier(expr.name)}"
         if isinstance(expr, IdentityRelation):
             return f"SELECT {T} AS {F}, {T}, {V} FROM ALL_NODES"
+        if isinstance(expr, EmptyRelation):
+            # A zero-row (F, T, V) relation.  Oracle and DB2 require a FROM
+            # clause, so the dummy one-row tables stand in there.
+            source = ""
+            if self._dialect is SQLDialect.ORACLE:
+                source = " FROM DUAL"
+            elif self._dialect is SQLDialect.DB2:
+                source = " FROM SYSIBM.SYSDUMMY1"
+            return f"SELECT '' AS {F}, '' AS {T}, '' AS {V}{source} WHERE 1 = 0"
         if isinstance(expr, Select):
             inner = self.render(expr.input)
             alias = self._alias()
@@ -258,11 +309,13 @@ class _SQLRenderer:
             branches.append(
                 # The origin node stays in F (matching EdgeStep semantics and
                 # the executor) so the recursion yields ancestor/descendant
-                # pairs that compose with the rest of the program.
+                # pairs that compose with the rest of the program.  Tags are
+                # element-type names and go through _literal: a quote in a
+                # tag must not corrupt the statement.
                 f"  SELECT {name}.{F} AS {F}, {alias}.{T} AS {T}, {alias}.{V} AS {V}, "
-                f"'{step.child_tag}' AS TAG\n"
+                f"{_literal(step.child_tag)} AS TAG\n"
                 f"  FROM {name} JOIN ({edge}) {alias} ON {name}.{T} = {alias}.{F} "
-                f"AND {name}.TAG = '{step.parent_tag}'"
+                f"AND {name}.TAG = {_literal(step.parent_tag)}"
             )
         with_kw = "WITH" if self._dialect is SQLDialect.DB2 else "WITH RECURSIVE"
         body = f"\n  {union_kw}\n".join(branches)
@@ -298,11 +351,13 @@ def program_statements(
         if dialect is SQLDialect.SQLITE:
             # SQLite rejects a parenthesised SELECT after AS.
             statements.append(
-                f'CREATE TEMPORARY TABLE "{assignment.target}" AS\n{body}'
+                "CREATE TEMPORARY TABLE "
+                f"{quote_identifier(assignment.target, always=True)} AS\n{body}"
             )
         else:
             statements.append(
-                f"CREATE TEMPORARY TABLE {assignment.target} AS (\n{body}\n)"
+                f"CREATE TEMPORARY TABLE {quote_identifier(assignment.target)} "
+                f"AS (\n{body}\n)"
             )
     statements.append(renderer.render(program.result))
     return statements

@@ -7,8 +7,8 @@ registered documents.  Against the stateless one-shot path
 * **plans are cached** — an LRU :class:`~repro.core.plancache.PlanCache`
   sits behind the translator (the :class:`~repro.core.pipeline.XPathToSQLTranslator`
   ``plan_cache`` hook), keyed by DTD fingerprint × canonical query ×
-  strategy × options × dialect, so a repeated query skips both translation
-  steps;
+  (resolved) strategy × options × dialect × optimizer level, so a repeated
+  query skips both translation steps and the optimizer passes;
 * **documents are stores, not arguments** — :meth:`register_document`
   shreds a document once and keeps its execution backend loaded (the
   in-memory relations stay resident; the SQLite store keeps a persistent
@@ -150,6 +150,10 @@ class QueryService:
         documents are immutable, so this is semantically invisible).  Off
         means every answer executes on the backend — the mode that isolates
         plan-cache gains in benchmarks.
+    optimize_level:
+        Program-optimizer level (0/1/2) forwarded to the translator; part
+        of every plan-cache key, so services at different levels never
+        alias plans.
 
     Example
     -------
@@ -175,6 +179,7 @@ class QueryService:
         cache_capacity: int = 128,
         plan_cache: Optional[PlanCache] = None,
         result_cache: bool = True,
+        optimize_level: Optional[int] = None,
     ) -> None:
         if cache_capacity < 0:
             raise ValueError(f"cache_capacity must be >= 0, got {cache_capacity}")
@@ -194,6 +199,7 @@ class QueryService:
             mapping=mapping,
             plan_cache=self._plan_cache,
             cache_dialect=dialect,
+            optimize_level=optimize_level,
         )
         self._prepared_capacity = (
             self._plan_cache.capacity if self._plan_cache is not None else 0

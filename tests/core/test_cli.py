@@ -191,9 +191,17 @@ class TestFuzzCommand:
             main(["fuzz", "--backends", "nope"])
 
     def test_engine_axes_are_honoured(self, capsys):
+        # baseline + opt at the default level, plus the level-0 sentinel.
         assert main(
             ["fuzz", "--seed", "1", "--budget", "4", "--strategies", "cycleex",
              "--backends", "memory"]
+        ) == 0
+        assert "engines=3" in capsys.readouterr().out
+
+    def test_optimize_level_pin_drops_the_sentinel(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "1", "--budget", "4", "--strategies", "cycleex",
+             "--backends", "memory", "--optimize-level", "0"]
         ) == 0
         assert "engines=2" in capsys.readouterr().out
 
@@ -238,6 +246,89 @@ class TestFuzzCommand:
         case.save(tmp_path / "case.json")
         assert main(["fuzz", "--replay", str(tmp_path)]) == 0
         assert "1/1 corpus case(s) agree" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    """Library failures exit non-zero with a one-line message, no traceback."""
+
+    def test_malformed_dtd_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.dtd"
+        path.write_text("root r\nr -> ((broken\n")
+        assert main(["describe", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_malformed_dtd_in_translate_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.dtd"
+        path.write_text("this is not a dtd ((((\n")
+        assert main(["translate", str(path), "a//d"]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_unparseable_xpath_exits_2(self, capsys):
+        assert main(["translate", "cross", "a[[["]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_unparseable_xpath_in_answer_exits_2(self, capsys):
+        assert main(["answer", "cross", "//", "--elements", "50"]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_valid_inputs_still_exit_zero(self, capsys):
+        assert main(["translate", "cross", "a//d", "--show", "sql"]) == 0
+
+
+class TestOptimizerFlags:
+    def test_translate_accepts_levels_and_auto(self, capsys):
+        for level in ("0", "1", "2"):
+            assert main(
+                ["translate", "cross", "a//d", "--optimize-level", level,
+                 "--show", "program"]
+            ) == 0
+        assert main(
+            ["translate", "cross", "a//d", "--strategy", "auto", "--show", "program"]
+        ) == 0
+        assert "strategy: auto ->" in capsys.readouterr().out
+
+    def test_translate_rejects_bad_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["translate", "cross", "a//d", "--optimize-level", "7"]
+            )
+
+    def test_level_0_and_2_answers_agree(self, capsys):
+        argv = ["answer", "cross", "a//d", "--elements", "300", "--seed", "3",
+                "--limit", "5"]
+        assert main(argv + ["--optimize-level", "0"]) == 0
+        level0 = capsys.readouterr().out
+        assert main(argv + ["--optimize-level", "2"]) == 0
+        level2 = capsys.readouterr().out
+        # Same matches and node lines; only the timing stats differ.
+        assert level0.splitlines()[1:] == level2.splitlines()[1:]
+
+    def test_experiment_forwards_optimize_level(self, capsys):
+        assert main(
+            ["experiment", "exp3", "--quick", "--optimize-level", "1"]
+        ) == 0
+        assert "Fig. 14" in capsys.readouterr().out
+
+    def test_bench_optimizer_quick_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_4.json"
+        assert main(["bench-optimizer", "--quick", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "optimizer benchmark" in output
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["bench"] == "optimizer-levels"
+        assert report["ok"] is True
+        assert report["scenarios"]["empty_queries"]["level2_fully_collapsed"] is True
+
+    def test_bench_optimizer_rejects_bad_budget(self):
+        with pytest.raises(SystemExit):
+            main(["bench-optimizer", "--elements", "0"])
 
 
 class TestServiceFlags:

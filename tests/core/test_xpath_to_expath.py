@@ -21,6 +21,12 @@ from repro.xpath.parser import parse_xpath
 def assert_equivalent(dtd, query_text, tree, strategy=DescendantStrategy.CYCLEEX):
     """The rewritten query must return the same nodes as the XPath oracle."""
     query = parse_xpath(query_text)
+    if strategy is DescendantStrategy.AUTO:
+        # AUTO is resolved per query (by the pipeline in production); the
+        # front end only accepts concrete strategies.
+        from repro.core.optimize import select_strategy
+
+        strategy = select_strategy(dtd, query)
     extended = xpath_to_extended(query, dtd, strategy=strategy)
     expected = {n.node_id for n in evaluate_xpath(tree, query)}
     actual = {n.node_id for n in evaluate_extended(tree, extended)}

@@ -44,6 +44,20 @@ class TestEngineGrid:
         assert [engine.name for engine in engines] == [
             "memory/cycleex/baseline",
             "memory/cycleex/opt",
+            # The raw-lowering sentinel: optimizer level pinned to 0 so every
+            # sweep differentially checks the optimizer passes themselves.
+            "memory/cycleex/opt/O0",
+        ]
+
+    def test_grid_can_pin_the_optimizer_level(self):
+        engines = default_engines(
+            backends=["memory"],
+            strategies=[DescendantStrategy.CYCLEEX],
+            optimize_level=0,
+        )
+        assert [engine.name for engine in engines] == [
+            "memory/cycleex/baseline/O0",
+            "memory/cycleex/opt/O0",
         ]
 
 

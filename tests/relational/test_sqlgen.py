@@ -72,6 +72,72 @@ class TestExpressionRendering:
         assert "ALL_NODES" in sql
 
 
+class TestIdentifierQuoting:
+    def test_plain_names_stay_bare(self):
+        from repro.relational.sqlgen import quote_identifier
+
+        assert quote_identifier("R_course") == "R_course"
+        assert quote_identifier("T1_step") == "T1_step"
+
+    def test_names_with_dashes_and_dots_are_quoted(self):
+        from repro.relational.sqlgen import quote_identifier
+
+        assert quote_identifier("R_foo-bar") == '"R_foo-bar"'
+        assert quote_identifier("R_a.b") == '"R_a.b"'
+
+    def test_reserved_words_are_quoted(self):
+        from repro.relational.sqlgen import quote_identifier
+
+        assert quote_identifier("select") == '"select"'
+        assert quote_identifier("ORDER") == '"ORDER"'
+        assert quote_identifier("Table") == '"Table"'
+
+    def test_embedded_quotes_are_doubled(self):
+        from repro.relational.sqlgen import quote_identifier
+
+        assert quote_identifier('na"me') == '"na""me"'
+
+    def test_scan_of_dashed_relation_renders_quoted_in_every_dialect(self):
+        for dialect in SQLDialect:
+            sql = expression_to_sql(Scan("R_foo-bar"), dialect)
+            assert '"R_foo-bar"' in sql, dialect
+
+    def test_scan_of_reserved_word_relation_is_quoted(self):
+        sql = expression_to_sql(Scan("order"), SQLDialect.GENERIC)
+        assert 'FROM "order"' in sql
+
+    def test_recursive_union_tags_go_through_literal_escaping(self):
+        recursive = RecursiveUnion(
+            TagProject(Scan("R_c"), "o'tag"),
+            (EdgeStep(Scan("R_c"), "o'tag", "o'tag"),),
+        )
+        sql = expression_to_sql(recursive)
+        assert "'o''tag'" in sql
+        assert "'o'tag'" not in sql.replace("'o''tag'", "")
+
+
+class TestEmptyRelationRendering:
+    def test_renders_zero_row_select_in_every_dialect(self):
+        from repro.relational.algebra import EmptyRelation
+
+        for dialect in SQLDialect:
+            sql = expression_to_sql(EmptyRelation(), dialect)
+            assert "WHERE 1 = 0" in sql, dialect
+
+    def test_sqlite_form_executes(self):
+        import sqlite3
+
+        from repro.relational.algebra import EmptyRelation
+
+        sql = expression_to_sql(EmptyRelation(), SQLDialect.SQLITE)
+        connection = sqlite3.connect(":memory:")
+        try:
+            rows = connection.execute(sql).fetchall()
+        finally:
+            connection.close()
+        assert rows == []
+
+
 class TestRecursionRendering:
     def test_fixpoint_generic_uses_with_recursive(self):
         sql = expression_to_sql(Fixpoint(Scan("R")), SQLDialect.GENERIC)
