@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: translate and answer the paper's running example (Q1, Q2).
+"""Quickstart: the public ``Engine``/``Session`` API on the paper's running example.
 
-The script walks through the whole pipeline on the dept DTD of Fig. 1(a):
+The script walks through the whole pipeline on the dept DTD of Fig. 1(a),
+driving everything through :mod:`repro.api` — the supported entry point:
 
-1. inspect the recursive DTD and its graph;
-2. generate a synthetic document and shred it into relations (Table 1 style);
-3. translate ``Q1 = dept//project`` to extended XPath and to SQL with the
-   simple LFP operator (Example 3.5);
-4. execute the translated program on the in-memory engine and check it
-   against direct XPath evaluation;
-5. do the same for the rich-qualifier query Q2 of Example 2.2.
+1. inspect the recursive DTD and build an :class:`~repro.api.Engine` over it;
+2. generate a synthetic document and open a :class:`~repro.api.Session`
+   (the document is shredded into relations once, Table 1 style);
+3. translate ``Q1 = dept//project`` and print the extended XPath, the
+   relational program with the simple LFP operator and the SQL (Example 3.5);
+4. answer Q1 through the session and check it against direct XPath
+   evaluation — the central invariant ``Q(T) = Q'(tau_d(T))``;
+5. do the same for the rich-qualifier query Q2 of Example 2.2, then answer
+   Q1 again under the SQLGen-R baseline configuration for comparison.
 
 Run with ``python examples/quickstart.py``.
 """
 
-from repro import DescendantStrategy, SQLDialect, XPathToSQLTranslator, generate_document
+from repro import Engine, EngineConfig, SQLDialect, generate_document
 from repro.dtd.samples import dept_dtd, describe
 from repro.workloads.queries import DEPT_QUERIES
 from repro.xpath.evaluator import evaluate_xpath
@@ -27,45 +30,45 @@ def main() -> None:
     print(describe(dtd))
     print(dtd.to_text())
 
-    # Generate and shred a document.
+    # One engine = one DTD + one frozen configuration.
+    engine = Engine.from_dtd(dtd, EngineConfig(strategy="cycleex"))
+
+    # Generate a document and open a session over it (shredded once).
     document = generate_document(dtd, x_l=7, x_r=3, seed=42, max_elements=2000)
     print(f"generated document: {document.size()} elements, height {document.height()}")
 
-    translator = XPathToSQLTranslator(dtd)
-    shredded = translator.shred(document)
-    print(f"shredded into {len(shredded.database.schema.relation_names)} relations, "
-          f"{shredded.database.total_rows()} tuples\n")
+    with engine.open_session(document) as session:
+        # Q1 = dept//project.
+        print("\n== Q1 = dept//project ==")
+        plan = engine.translate(DEPT_QUERIES["Q1"])
+        print("extended XPath rewriting:")
+        print(plan.extended)
+        print("\nrelational program (with the simple LFP operator):")
+        print(plan.program)
+        print("\nSQL (DB2 dialect):")
+        print(engine.sql(DEPT_QUERIES["Q1"], SQLDialect.DB2))
 
-    # Q1 = dept//project.
-    print("== Q1 = dept//project ==")
-    result = translator.translate(DEPT_QUERIES["Q1"])
-    print("extended XPath rewriting:")
-    print(result.extended)
-    print("\nrelational program (with the simple LFP operator):")
-    print(result.program)
-    print("\nSQL (DB2 dialect):")
-    print(result.sql(SQLDialect.DB2))
+        result = session.answer(DEPT_QUERIES["Q1"])
+        oracle = evaluate_xpath(document, parse_xpath(DEPT_QUERIES["Q1"]))
+        print(f"\nprojects found via SQL: {len(result)}; via direct XPath: {len(oracle)}")
+        assert {n.node_id for n in result} == {n.node_id for n in oracle}
 
-    answers = translator.answer(DEPT_QUERIES["Q1"], shredded)
-    oracle = evaluate_xpath(document, parse_xpath(DEPT_QUERIES["Q1"]))
-    print(f"\nprojects found via SQL: {len(answers)}; via direct XPath: {len(oracle)}")
-    assert {n.node_id for n in answers} == {n.node_id for n in oracle}
+        # Q2: rich qualifiers with negation — beyond SQLGen-R's fragment.
+        print("\n== Q2 (Example 2.2, rich qualifiers) ==")
+        cno_values = [n.value for n in document.nodes_with_label("cno")]
+        q2 = DEPT_QUERIES["Q2"].replace("cs66", cno_values[0] if cno_values else "cs66")
+        print(q2)
+        result = session.answer(q2)
+        oracle = evaluate_xpath(document, parse_xpath(q2))
+        print(f"courses found via SQL: {len(result)}; via direct XPath: {len(oracle)}")
+        assert {n.node_id for n in result} == {n.node_id for n in oracle}
 
-    # Q2: rich qualifiers with negation — beyond SQLGen-R's fragment.
-    print("\n== Q2 (Example 2.2, rich qualifiers) ==")
-    cno_values = [n.value for n in document.nodes_with_label("cno")]
-    q2 = DEPT_QUERIES["Q2"].replace("cs66", cno_values[0] if cno_values else "cs66")
-    print(q2)
-    answers = translator.answer(q2, shredded)
-    oracle = evaluate_xpath(document, parse_xpath(q2))
-    print(f"courses found via SQL: {len(answers)}; via direct XPath: {len(oracle)}")
-    assert {n.node_id for n in answers} == {n.node_id for n in oracle}
-
-    # The same query through the SQLGen-R baseline for comparison.
-    baseline = XPathToSQLTranslator(dtd, strategy=DescendantStrategy.RECURSIVE_UNION)
-    baseline_answers = baseline.answer(DEPT_QUERIES["Q1"], shredded)
-    print(f"\nSQLGen-R baseline answers Q1 with {len(baseline_answers)} projects "
-          "(same result, SQL'99 recursion instead of the simple LFP)")
+    # The same query through the SQLGen-R baseline: one knob in the config.
+    baseline = Engine.from_dtd(dtd, EngineConfig(strategy="recursive-union"))
+    with baseline.open_session(document) as session:
+        baseline_result = session.answer(DEPT_QUERIES["Q1"])
+        print(f"\nSQLGen-R baseline answers Q1 with {len(baseline_result)} projects "
+              "(same result, SQL'99 recursion instead of the simple LFP)")
 
     print("\nquickstart finished: all answers match the XPath oracle")
 

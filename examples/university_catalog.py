@@ -6,9 +6,11 @@ course catalog with a *recursive* prerequisite hierarchy, stored in
 relations via DTD-based shredding, queried with XPath by applications that
 only have a SQL connection.
 
-The example shows a small "catalog service" built on the public API:
+The example shows a small "catalog service" built on the public facade:
 
-* ``CatalogService`` owns the translator and the shredded database;
+* ``CatalogService`` owns an :class:`~repro.api.Engine` (the translator +
+  plan cache) and a :class:`~repro.api.Session` (the shredded, loaded
+  document);
 * callers ask XPath questions (deep prerequisites, project requirements,
   students qualified for a course, courses safe to drop);
 * every question is answered by running the translated SQL program on the
@@ -19,11 +21,10 @@ Run with ``python examples/university_catalog.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from repro import XPathToSQLTranslator, generate_document
+from repro import Engine, EngineConfig, generate_document
 from repro.dtd.samples import dept_dtd
-from repro.shredding.shredder import ShreddedDocument
 from repro.xmltree.tree import XMLNode, XMLTree
 
 
@@ -31,14 +32,15 @@ class CatalogService:
     """Answer catalog questions over the shredded dept database."""
 
     def __init__(self, document: XMLTree) -> None:
-        self._dtd = dept_dtd()
-        self._translator = XPathToSQLTranslator(self._dtd)
-        self._shredded: ShreddedDocument = self._translator.shred(document)
+        # Repeated questions hit the engine's plan cache; the session keeps
+        # the shredded document's backend warm.
+        self._engine = Engine.from_dtd(dept_dtd(), EngineConfig(strategy="auto"))
+        self._session = self._engine.open_session(document)
 
     # -- helpers ---------------------------------------------------------------
 
     def _ask(self, xpath: str) -> List[XMLNode]:
-        return self._translator.answer(xpath, self._shredded)
+        return self._session.answer(xpath).nodes()
 
     @staticmethod
     def _code_of(course: XMLNode) -> str:
@@ -75,7 +77,11 @@ class CatalogService:
 
     def sql_for(self, xpath: str) -> str:
         """Expose the SQL a question compiles to (for DBAs to inspect)."""
-        return self._translator.to_sql(xpath)
+        return self._session.sql(xpath)
+
+    def close(self) -> None:
+        """Release the session's backend."""
+        self._engine.close()
 
 
 def main() -> None:
@@ -100,6 +106,7 @@ def main() -> None:
 
     print("\nSQL generated for the 'courses without projects' question:\n")
     print(service.sql_for("dept//course[not //project]")[:800], "...")
+    service.close()
 
 
 if __name__ == "__main__":

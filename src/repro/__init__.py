@@ -10,17 +10,31 @@ DTD-based shredding — plus the three translation strategies compared in the
 paper's experiments (CycleEX, CycleE, SQLGen-R) and the experiment harness
 that regenerates every table and figure.
 
-Quickstart
-----------
->>> from repro import XPathToSQLTranslator, generate_document
+Quickstart (the public facade)
+------------------------------
+>>> from repro import Engine, EngineConfig, generate_document
 >>> from repro.dtd.samples import dept_dtd
->>> dtd = dept_dtd()
->>> translator = XPathToSQLTranslator(dtd)
->>> document = generate_document(dtd, x_l=6, x_r=3, seed=1)
->>> shredded = translator.shred(document)
->>> projects = translator.answer("dept//project", shredded)
+>>> engine = Engine.from_dtd(dept_dtd(), EngineConfig(strategy="auto"))
+>>> document = generate_document(engine.dtd, x_l=6, x_r=3, seed=1)
+>>> with engine.open_session(document) as session:
+...     projects = list(session.answer("dept//project"))
+
+:class:`Engine`/:class:`Session`/:class:`EngineConfig` (see
+:mod:`repro.api`) are the supported entry point; the lower layers imported
+below remain available (the pre-facade constructors keep working for one
+release) but their keyword-argument configuration is deprecated in favour
+of passing an :class:`EngineConfig`.
 """
 
+from repro.api import (
+    ConfigError,
+    Engine,
+    EngineConfig,
+    QueryResult,
+    ReproError,
+    Session,
+    SessionError,
+)
 from repro.backends import Backend, BackendResult, MemoryBackend, SqliteBackend, create_backend
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.pipeline import TranslationResult, XPathToSQLTranslator, answer_xpath
@@ -36,14 +50,27 @@ from repro.views.gav import GAVView
 from repro.xmltree.generator import generate_document
 from repro.xpath.parser import parse_xpath
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+# The complete supported public surface.  tests/api/test_public_surface.py
+# snapshots this list (and CI imports the package and checks it), so growing
+# the surface is an explicit, reviewed act — edit both places.
 __all__ = [
+    # -- the facade (preferred API) --
+    "Engine",
+    "Session",
+    "EngineConfig",
+    "QueryResult",
+    "ReproError",
+    "ConfigError",
+    "SessionError",
+    # -- schema/document substrate --
     "DTD",
     "parse_dtd",
     "parse_xpath",
     "generate_document",
     "shred_document",
+    # -- translation layers --
     "XPathToSQLTranslator",
     "TranslationResult",
     "TranslationOptions",
@@ -52,15 +79,18 @@ __all__ = [
     "SQLDialect",
     "GAVView",
     "answer_xpath",
+    # -- execution backends --
     "Backend",
     "BackendResult",
     "MemoryBackend",
     "SqliteBackend",
     "create_backend",
+    # -- fuzzing --
     "FuzzCase",
     "FuzzConfig",
     "DifferentialOracle",
     "run_fuzz",
+    # -- serving --
     "PlanCache",
     "QueryService",
     "__version__",

@@ -1,0 +1,490 @@
+"""The :class:`Engine`/:class:`Session` facade — answer XPath over one DTD.
+
+This is the top-down contract over every layer built underneath: an
+:class:`Engine` owns one DTD plus one frozen
+:class:`~repro.api.config.EngineConfig` (and the shared translation-plan
+cache), a :class:`Session` owns registered documents (shredded once,
+backend kept warm, results memoized) and answers queries as typed
+:class:`QueryResult` objects.  Both are context managers; everything they
+raise is rooted at :class:`~repro.errors.ReproError`.
+
+Compared to driving :class:`~repro.core.pipeline.XPathToSQLTranslator` or
+:class:`~repro.service.QueryService` directly, the facade adds no
+semantics — the property suite pins ``Engine``/``Session`` answers to the
+underlying layers node-for-node — it only removes the kwarg threading:
+every knob enters exactly once, through the config.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.config import EngineConfig
+from repro.backends.base import BackendResult
+from repro.core.pipeline import QueryLike, TranslationResult, XPathToSQLTranslator
+from repro.core.plancache import PlanCache
+from repro.dtd.model import DTD
+from repro.errors import ConfigError, SessionClosedError
+from repro.relational.sqlgen import SQLDialect
+from repro.service import QueryService
+from repro.shredding.shredder import ShreddedDocument
+from repro.xmltree.tree import XMLNode, XMLTree
+
+__all__ = ["Engine", "Session", "QueryResult"]
+
+DocumentsLike = Union[XMLTree, Mapping[str, XMLTree], Sequence[XMLTree]]
+
+DEFAULT_DOCUMENT_ID = "doc"
+
+
+def _named_documents(documents: DocumentsLike) -> List[Tuple[str, XMLTree]]:
+    """Normalize the accepted document shapes to ``(id, tree)`` pairs.
+
+    A bare tree gets the id ``"doc"``; a sequence always gets ``doc0``,
+    ``doc1``, ... (also for one element, so ids never shift with length).
+    """
+    if isinstance(documents, XMLTree):
+        named = [(DEFAULT_DOCUMENT_ID, documents)]
+    elif isinstance(documents, Mapping):
+        named = list(documents.items())
+    elif isinstance(documents, Sequence):
+        named = [
+            (f"{DEFAULT_DOCUMENT_ID}{index}", tree)
+            for index, tree in enumerate(documents)
+        ]
+    else:
+        raise ConfigError(
+            f"open_session expects an XMLTree, a mapping or a sequence, "
+            f"got {type(documents).__name__}"
+        )
+    for document_id, tree in named:
+        if not isinstance(tree, XMLTree):
+            raise ConfigError(
+                f"document {document_id!r} is not an XMLTree "
+                f"(got {type(tree).__name__})"
+            )
+    return named
+
+
+class QueryResult:
+    """The typed answer to one query: plan metadata plus lazy nodes.
+
+    The backend's raw result (normalized rows, execution stats) is attached
+    eagerly; the translation plan and the mapping from node ids back to
+    :class:`~repro.xmltree.tree.XMLNode` objects are both deferred — the
+    plan until :attr:`plan` is read (a plan-cache lookup when caching is
+    on; only then a re-translation when it is off), the nodes until the
+    result is iterated (or :meth:`nodes` is called) — so callers that only
+    need counts or row sets pay for neither.
+    """
+
+    def __init__(
+        self,
+        query: str,
+        document_id: str,
+        plan_factory: "Callable[[], TranslationResult]",
+        raw: BackendResult,
+        shredded: ShreddedDocument,
+    ) -> None:
+        self._query = query
+        self._document_id = document_id
+        self._plan_factory = plan_factory
+        self._plan: Optional[TranslationResult] = None
+        self._raw = raw
+        self._shredded = shredded
+        self._nodes: Optional[List[XMLNode]] = None
+
+    # -- plan metadata ----------------------------------------------------------
+
+    @property
+    def query(self) -> str:
+        """The query text answered."""
+        return self._query
+
+    @property
+    def document_id(self) -> str:
+        """Id of the document the query ran over."""
+        return self._document_id
+
+    @property
+    def plan(self) -> TranslationResult:
+        """The translation plan the answer was computed with (lazy)."""
+        if self._plan is None:
+            self._plan = self._plan_factory()
+        return self._plan
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend that executed the plan."""
+        return self._raw.backend
+
+    @property
+    def stats(self) -> Mapping[str, float]:
+        """Backend execution counters (at least ``rows``/``elapsed_seconds``)."""
+        return self._raw.stats
+
+    @property
+    def rows(self) -> FrozenSet[Tuple[str, ...]]:
+        """The normalized result rows (set semantics, values as strings)."""
+        return self._raw.rows
+
+    @property
+    def row_count(self) -> int:
+        """Number of distinct result rows."""
+        return self._raw.row_count
+
+    def node_ids(self) -> FrozenSet[str]:
+        """The answer set: matched node ids (normalized to strings)."""
+        return frozenset(self._raw.node_ids())
+
+    # -- lazy node materialization ----------------------------------------------
+
+    def nodes(self) -> List[XMLNode]:
+        """The matching XML nodes in document order (materialized once)."""
+        if self._nodes is None:
+            self._nodes = self._shredded.nodes_for_ids(self._raw.node_ids())
+        return self._nodes
+
+    def values(self) -> List[Optional[str]]:
+        """Text values of the matching nodes, in document order."""
+        return [node.value for node in self.nodes()]
+
+    def __iter__(self) -> Iterator[XMLNode]:
+        return iter(self.nodes())
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    def __bool__(self) -> bool:
+        return self.row_count > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(query={self._query!r}, document={self._document_id!r}, "
+            f"backend={self.backend!r}, rows={self.row_count})"
+        )
+
+
+class Session:
+    """Registered documents under one engine; context-managed answering.
+
+    Created with :meth:`Engine.open_session`; not constructed directly.
+    The session shares its engine's translation-plan cache (translating a
+    query in any session of an engine warms them all) and keeps each
+    registered document's execution backend loaded for its lifetime.
+    """
+
+    def __init__(self, engine: "Engine", service: QueryService) -> None:
+        self._engine = engine
+        self._service = service
+        self._closed = False
+
+    # -- registry ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> "Engine":
+        """The engine this session answers under."""
+        return self._engine
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration (shared with the engine, frozen)."""
+        return self._engine.config
+
+    def document_ids(self) -> List[str]:
+        """Ids of this session's documents, in registration order."""
+        return self._service.document_ids()
+
+    def add_document(self, document_id: str, tree: XMLTree) -> None:
+        """Shred and register one more document under ``document_id``."""
+        self._check_open()
+        self._service.register_document(document_id, tree)
+
+    # -- answering --------------------------------------------------------------
+
+    def answer(
+        self, query: QueryLike, document_id: Optional[str] = None
+    ) -> QueryResult:
+        """Answer ``query`` over one document (the sole one by default).
+
+        Returns a :class:`QueryResult`; iterate it for the matching nodes,
+        read ``.plan``/``.stats`` for how the answer was computed.
+        """
+        self._check_open()
+        store = self._service.store(document_id)
+        raw = self._service.execute(query, store.document_id)
+        # The factory binds the (stateless, plan-cache-backed) translator,
+        # not the service, so a returned result stays fully usable after
+        # the session closes.  A plan-cache hit when caching is on; with
+        # caching off the translation only re-runs if the plan is read.
+        translator = self._service.translator
+        return QueryResult(
+            query=str(query),
+            document_id=store.document_id,
+            plan_factory=lambda: translator.translate(query),
+            raw=raw,
+            shredded=store.shredded,
+        )
+
+    def answer_batch(
+        self,
+        queries: Sequence[QueryLike],
+        document_id: Optional[str] = None,
+        threads: int = 1,
+    ) -> List[QueryResult]:
+        """Answer many queries over one document, optionally on a thread pool.
+
+        Results come back in input order regardless of ``threads``.
+        """
+        if threads < 1:
+            raise ConfigError(f"threads must be >= 1, got {threads}")
+        self._check_open()
+        store = self._service.store(document_id)
+
+        def one(query: QueryLike) -> QueryResult:
+            return self.answer(query, store.document_id)
+
+        if threads == 1 or len(queries) <= 1:
+            return [one(query) for query in queries]
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            return list(pool.map(one, queries))
+
+    def stream(
+        self, query: QueryLike, document_id: Optional[str] = None
+    ) -> Iterator[XMLNode]:
+        """Answer ``query`` and iterate the matching nodes in document order."""
+        return iter(self.answer(query, document_id))
+
+    def explain(self, query: QueryLike) -> str:
+        """The engine's plan explanation for ``query`` (see :meth:`Engine.explain`)."""
+        self._check_open()
+        return self._engine.explain(query)
+
+    def sql(self, query: QueryLike, dialect: Optional[SQLDialect] = None) -> str:
+        """The SQL text ``query`` translates to (session's dialect by default)."""
+        self._check_open()
+        return self._engine.sql(query, dialect)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every document store's backend; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._service.close()
+            self._engine._forget_session(self)
+
+    @property
+    def closed(self) -> bool:
+        """True once the session has been closed."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("session is closed")
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session(documents={self.document_ids() if not self._closed else []}, "
+            f"backend={self.config.backend!r}, {state})"
+        )
+
+
+class Engine:
+    """A query engine: one DTD, one frozen config, shared plan cache.
+
+    Build one with :meth:`from_dtd` (accepts a :class:`~repro.dtd.model.DTD`,
+    a paper-sample name like ``"dept"``, or DTD grammar text), translate
+    and inspect queries directly (:meth:`translate`, :meth:`sql`,
+    :meth:`explain`), and open :class:`Session` objects over documents to
+    answer them.  Engines are context managers; closing an engine closes
+    every session it opened.
+
+    Example
+    -------
+    >>> from repro.api import Engine
+    >>> from repro.xmltree.generator import generate_document
+    >>> engine = Engine.from_dtd("dept", optimize_level=2)
+    >>> document = generate_document(engine.dtd, seed=1)
+    >>> with engine.open_session(document) as session:
+    ...     count = len(session.answer("dept//project"))
+    """
+
+    def __init__(self, dtd: DTD, config: Optional[EngineConfig] = None) -> None:
+        self._dtd = dtd
+        self._config = config or EngineConfig()
+        self._plan_cache = (
+            PlanCache(self._config.plan_cache_size)
+            if self._config.plan_cache_size > 0
+            else None
+        )
+        self._translator = XPathToSQLTranslator(
+            dtd, plan_cache=self._plan_cache, config=self._config
+        )
+        self._sessions: List[Session] = []
+        self._closed = False
+
+    @classmethod
+    def from_dtd(
+        cls,
+        source: Union[DTD, str],
+        config: Optional[EngineConfig] = None,
+        **knobs: object,
+    ) -> "Engine":
+        """Build an engine from a DTD object, a sample name or grammar text.
+
+        ``config`` carries the engine knobs; any extra keyword arguments
+        are applied on top via :meth:`EngineConfig.with_` (so
+        ``Engine.from_dtd("dept", optimize_level=0)`` works without
+        spelling out a config).
+        """
+        from repro.dtd import samples
+        from repro.dtd.parser import parse_dtd
+
+        resolved = (config or EngineConfig()).with_(**knobs) if knobs else (
+            config or EngineConfig()
+        )
+        if isinstance(source, DTD):
+            return cls(source, resolved)
+        if not isinstance(source, str):
+            raise ConfigError(
+                f"from_dtd expects a DTD, a sample name or grammar text, "
+                f"got {type(source).__name__}"
+            )
+        named = samples.paper_dtds()
+        if source in named:
+            return cls(named[source], resolved)
+        # Only strings that can actually be grammar text fall through to
+        # the parser; a bare word is a mistyped sample name and deserves a
+        # name error, not a confusing grammar-syntax one.
+        if "\n" not in source and "->" not in source:
+            raise ConfigError(
+                f"unknown sample DTD {source!r} "
+                f"(known: {', '.join(sorted(named))}; "
+                "pass a DTD object or grammar text otherwise)"
+            )
+        return cls(parse_dtd(source), resolved)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def dtd(self) -> DTD:
+        """The DTD this engine translates and answers queries over."""
+        return self._dtd
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine's frozen configuration."""
+        return self._config
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The shared translation-plan cache (``None`` when disabled)."""
+        return self._plan_cache
+
+    # -- translation ------------------------------------------------------------
+
+    def translate(self, query: QueryLike) -> TranslationResult:
+        """Translate ``query`` (through the shared plan cache)."""
+        self._check_open()
+        return self._translator.translate(query)
+
+    def sql(self, query: QueryLike, dialect: Optional[SQLDialect] = None) -> str:
+        """The SQL text ``query`` translates to.
+
+        ``dialect`` defaults to the config's resolved dialect (the
+        backend's native one unless pinned).
+        """
+        return self.translate(query).sql(dialect or self._config.resolved_dialect())
+
+    def explain(self, query: QueryLike) -> str:
+        """A human-readable plan summary: strategy, level, operator profile."""
+        result = self.translate(query)
+        profile = result.operator_profile()
+        strategy = result.strategy.value if result.strategy else self._config.strategy.value
+        lines = [
+            f"query:     {query}",
+            f"strategy:  {self._config.strategy.value}"
+            + (f" -> {strategy}" if self._config.strategy.value != strategy else ""),
+            f"optimizer: level {result.optimize_level}",
+            f"dialect:   {self._config.resolved_dialect().value}",
+            f"profile:   {profile.joins} joins, {profile.unions} unions, "
+            f"{profile.lfps} LFPs, {profile.recursive_unions} SQL'99 recursions",
+            "program:",
+        ]
+        lines.extend(f"  {line}" for line in str(result.program).splitlines())
+        return "\n".join(lines)
+
+    # -- sessions ---------------------------------------------------------------
+
+    def open_session(self, documents: DocumentsLike) -> Session:
+        """Shred and register ``documents``; return a :class:`Session`.
+
+        ``documents`` is one :class:`~repro.xmltree.tree.XMLTree` (id
+        ``"doc"``), a mapping of id -> tree, or a sequence of trees (ids
+        ``doc0``, ``doc1``, ...).
+        """
+        self._check_open()
+        named = _named_documents(documents)
+        service = QueryService(
+            self._dtd, plan_cache=self._plan_cache, config=self._config
+        )
+        try:
+            for document_id, tree in named:
+                service.register_document(document_id, tree)
+        except Exception:
+            service.close()
+            raise
+        session = Session(self, service)
+        self._sessions.append(session)
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        if session in self._sessions:
+            self._sessions.remove(session)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the engine and every session it opened; idempotent."""
+        if not self._closed:
+            self._closed = True
+            for session in list(self._sessions):
+                session.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once the engine has been closed."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("engine is closed")
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"sessions={len(self._sessions)}"
+        return f"Engine(dtd={self._dtd.name!r}, config={self._config.describe()}, {state})"

@@ -21,6 +21,7 @@ from repro.backends.base import Backend, BackendResult, PreparedProgram, normali
 from repro.backends.memory import MemoryBackend
 from repro.backends.sqlite import SqliteBackend, sqlite_schema_ddl
 from repro.relational.database import Database
+from repro.relational.sqlgen import SQLDialect
 
 __all__ = [
     "Backend",
@@ -30,6 +31,7 @@ __all__ = [
     "SqliteBackend",
     "BACKENDS",
     "backend_names",
+    "backend_dialect",
     "create_backend",
     "normalize_rows",
     "sqlite_schema_ddl",
@@ -47,11 +49,34 @@ def backend_names() -> List[str]:
     return sorted(BACKENDS)
 
 
-def create_backend(name: str, database: Database, **options: object) -> Backend:
-    """Instantiate the backend registered under ``name`` over ``database``."""
+def _backend_class(name: str) -> Type[Backend]:
     try:
-        backend_class = BACKENDS[name]
+        return BACKENDS[name]
     except KeyError:
         known = ", ".join(backend_names())
         raise ValueError(f"unknown backend {name!r} (known: {known})") from None
-    return backend_class(database, **options)
+
+
+def backend_dialect(name: str) -> SQLDialect:
+    """The SQL dialect the backend registered under ``name`` executes.
+
+    This is what :meth:`repro.api.EngineConfig.resolved_dialect` derives
+    the plan-rendering (and cache-keying) dialect from when no explicit
+    dialect is configured — each backend declares it once on the class.
+    """
+    return _backend_class(name).dialect
+
+
+def create_backend(name: object, database: Database, **options: object) -> Backend:
+    """Instantiate a backend over ``database``.
+
+    ``name`` is either a registered backend name or an
+    :class:`~repro.api.EngineConfig` (anything with a ``backend``
+    attribute), in which case the config's backend is used — the facade and
+    service layers pass their config straight through.
+    """
+    if not isinstance(name, str):
+        name = getattr(name, "backend", name)
+    if not isinstance(name, str):
+        raise ValueError(f"backend must be a name or an EngineConfig, got {name!r}")
+    return _backend_class(name)(database, **options)

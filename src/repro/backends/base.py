@@ -24,6 +24,7 @@ from typing import FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
 from repro.relational.algebra import Program
 from repro.relational.database import Database
 from repro.relational.schema import T
+from repro.relational.sqlgen import SQLDialect
 
 __all__ = [
     "BackendResult",
@@ -105,12 +106,16 @@ class Backend(abc.ABC):
     """Executes translated programs over one database.
 
     Subclasses set :attr:`name` (the identifier used by ``--backend`` flags
-    and the registry) and implement :meth:`execute`.  Backends that hold
-    external resources (connections, files) override :meth:`close`; all
-    backends support use as context managers.
+    and the registry), :attr:`dialect` (the SQL dialect the backend's plans
+    are rendered and cache-keyed in — what
+    :meth:`repro.api.EngineConfig.resolved_dialect` derives from) and
+    implement :meth:`execute`.  Backends that hold external resources
+    (connections, files) override :meth:`close`; all backends support use
+    as context managers.
     """
 
     name: str = "abstract"
+    dialect: SQLDialect = SQLDialect.GENERIC
 
     def __init__(self, database: Database) -> None:
         self._database = database

@@ -33,6 +33,7 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.config import EngineConfig, resolve_engine_config
 from repro.backends import backend_names, create_backend
 from repro.backends.base import BackendResult
 from repro.core.expath_to_sql import TranslationOptions
@@ -75,12 +76,18 @@ class DifferentialSpec:
     generator) or passed in ready-made via ``document`` — which is how
     *generated* workloads (fuzz cases, external corpora) enter the same
     sweep as the fixed paper workloads.
+
+    Engine knobs resolve through :class:`~repro.api.EngineConfig` (see
+    :meth:`engine_config`): pass ``config`` directly, or keep using the
+    legacy ``strategy``/``options``/``optimize_level`` fields — they are
+    folded into one config, so a knob added to :class:`EngineConfig` is
+    picked up here without another field.
     """
 
     label: str
     dtd: DTD
     queries: Mapping[str, str]
-    strategy: DescendantStrategy = DescendantStrategy.CYCLEEX
+    strategy: Optional[DescendantStrategy] = None
     options: Optional[TranslationOptions] = None
     x_l: int = 8
     x_r: int = 3
@@ -89,6 +96,16 @@ class DifferentialSpec:
     distinct_values: int = 100
     document: Optional[XMLTree] = None
     optimize_level: Optional[int] = None
+    config: Optional[EngineConfig] = None
+
+    def engine_config(self) -> EngineConfig:
+        """The spec's engine knobs as one resolved :class:`EngineConfig`."""
+        return resolve_engine_config(
+            self.config,
+            strategy=self.strategy,
+            options=self.options,
+            optimize_level=self.optimize_level,
+        )
 
     def materialize(self) -> XMLTree:
         """The spec's document: the explicit one, or a generated one."""
@@ -269,12 +286,8 @@ def run_differential(
         if shredded is None:
             shredded = shred_document(spec.materialize(), spec.dtd)
             shredded_documents[document_key] = shredded
-        translator = XPathToSQLTranslator(
-            spec.dtd,
-            strategy=spec.strategy,
-            options=spec.options,
-            optimize_level=spec.optimize_level,
-        )
+        spec_config = spec.engine_config()
+        translator = XPathToSQLTranslator(spec.dtd, config=spec_config)
         # The raw-lowering sentinel: the same queries translated with the
         # program optimizer off.  Comparing its results (on the reference
         # backend) against the optimized program's confirms the optimizer
@@ -282,9 +295,9 @@ def run_differential(
         # spec itself pins level 0 — the comparison would be tautological.
         raw_translator = (
             None
-            if spec.optimize_level == 0
+            if spec_config.optimize_level == 0
             else XPathToSQLTranslator(
-                spec.dtd, strategy=spec.strategy, options=spec.options, optimize_level=0
+                spec.dtd, config=spec_config.with_(optimize_level=0)
             )
         )
         reference = create_backend(reference_name, shredded.database)

@@ -8,6 +8,7 @@ from repro.backends.base import Backend, BackendResult, normalize_rows
 from repro.relational.algebra import Program
 from repro.relational.database import Database
 from repro.relational.executor import Executor
+from repro.relational.sqlgen import SQLDialect
 
 __all__ = ["MemoryBackend"]
 
@@ -29,6 +30,7 @@ class MemoryBackend(Backend):
     """
 
     name = "memory"
+    dialect = SQLDialect.GENERIC
 
     def __init__(self, database: Database, lazy: bool = True) -> None:
         super().__init__(database)

@@ -123,6 +123,7 @@ class SqliteBackend(Backend):
     """
 
     name = "sqlite"
+    dialect = SQLDialect.SQLITE
 
     _instance_ids = itertools.count()
 

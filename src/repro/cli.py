@@ -31,9 +31,17 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     auto-strategy scenarios) and optionally write the ``BENCH_4.json``
     report (``--out``).
 
+The engine-configuration flags (``--strategy``, ``--dialect``,
+``--backend``, ``--optimize-level``, ``--push-selections``) are declared
+once in the shared :func:`_engine_flags` parent parser; each subcommand
+composes the subset it needs, and handlers convert the parsed flags into
+one :class:`~repro.api.EngineConfig` via :func:`engine_config_from_args`.
 Most query-translating subcommands take ``--optimize-level {0,1,2}``
 (program-optimizer level, default 2) and accept ``--strategy auto`` for
 per-query descendant-strategy selection.
+
+This module is CLI plumbing, not public API — scripts should import
+:mod:`repro.api` instead.
 
 ``experiment``
     Run one of the paper's experiments (exp1..exp5) with ``--quick`` sweeps
@@ -87,36 +95,17 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.api.config import EngineConfig, dialect_names, strategy_names
 from repro.backends import backend_names
-from repro.core.optimize import (
-    OPTIMIZE_LEVELS,
-    push_selection_options,
-    standard_options,
-)
+from repro.core.optimize import OPTIMIZE_LEVELS
 from repro.core.pipeline import XPathToSQLTranslator
-from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.dtd import samples
 from repro.errors import ReproError
-from repro.relational.sqlgen import SQLDialect
 from repro.xmltree.generator import generate_document
 
-__all__ = ["main", "build_parser"]
-
-_STRATEGIES = {
-    "cycleex": DescendantStrategy.CYCLEEX,
-    "cyclee": DescendantStrategy.CYCLEE,
-    "recursive-union": DescendantStrategy.RECURSIVE_UNION,
-    "auto": DescendantStrategy.AUTO,
-}
-
-_DIALECTS = {
-    "generic": SQLDialect.GENERIC,
-    "db2": SQLDialect.DB2,
-    "oracle": SQLDialect.ORACLE,
-    "sqlite": SQLDialect.SQLITE,
-}
+__all__ = ["main", "build_parser", "engine_config_from_args"]
 
 
 def _load_dtd(name_or_path: str) -> DTD:
@@ -134,6 +123,67 @@ def _load_dtd(name_or_path: str) -> DTD:
         )
 
 
+def _engine_flags(
+    strategy: bool = False,
+    dialect: bool = False,
+    backend: bool = False,
+    optimize: bool = False,
+    push_selections: bool = False,
+) -> argparse.ArgumentParser:
+    """The shared parent parser for the engine-configuration flags.
+
+    Every subcommand that takes engine knobs composes this parent
+    (``parents=[...]``) instead of re-declaring the flags, and its handler
+    turns the parsed namespace into one
+    :class:`~repro.api.EngineConfig` via :func:`engine_config_from_args` —
+    a new knob is added here (and in the config) exactly once.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine configuration")
+    if strategy:
+        group.add_argument(
+            "--strategy", choices=strategy_names(), default="cycleex",
+            help="descendant-axis expansion (default: cycleex)",
+        )
+    if dialect:
+        group.add_argument(
+            "--dialect", choices=dialect_names(), default=None,
+            help="SQL dialect to emit (default: the backend's native dialect)",
+        )
+    if backend:
+        group.add_argument(
+            "--backend", choices=backend_names(), default="memory",
+            help="execution backend (default: memory)",
+        )
+    if optimize:
+        group.add_argument(
+            "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
+            help="program-optimizer level (default: 2)",
+        )
+    if push_selections:
+        group.add_argument(
+            "--push-selections", action="store_true",
+            help="apply the Sect. 5.2 push-selection optimisation",
+        )
+    return parent
+
+
+def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """Build an :class:`~repro.api.EngineConfig` from parsed engine flags.
+
+    Absent flags (subcommands opt into subsets of :func:`_engine_flags`)
+    fall back to the config defaults, so one conversion serves every
+    subcommand.
+    """
+    return EngineConfig(
+        strategy=getattr(args, "strategy", None) or "cycleex",
+        optimize_level=getattr(args, "optimize_level", None),
+        dialect=getattr(args, "dialect", None),
+        backend=getattr(args, "backend", None) or "memory",
+        push_selections=bool(getattr(args, "push_selections", False)),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and documentation)."""
     parser = argparse.ArgumentParser(
@@ -145,31 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
     describe = commands.add_parser("describe", help="print a DTD and its graph summary")
     describe.add_argument("dtd", help="paper DTD name (e.g. dept, cross, gedml) or file path")
 
-    translate = commands.add_parser("translate", help="translate an XPath query to SQL")
+    translate = commands.add_parser(
+        "translate",
+        help="translate an XPath query to SQL",
+        parents=[_engine_flags(strategy=True, dialect=True, optimize=True, push_selections=True)],
+    )
     translate.add_argument("dtd", help="paper DTD name or file path")
     translate.add_argument("query", help="XPath query, e.g. 'dept//project'")
-    translate.add_argument(
-        "--strategy", choices=sorted(_STRATEGIES), default="cycleex",
-        help="descendant-axis expansion (default: cycleex)",
-    )
-    translate.add_argument(
-        "--dialect", choices=sorted(_DIALECTS), default="generic",
-        help="SQL dialect to emit (default: generic)",
-    )
-    translate.add_argument(
-        "--push-selections", action="store_true",
-        help="apply the Sect. 5.2 push-selection optimisation",
-    )
-    translate.add_argument(
-        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
-        help="program-optimizer level (default: 2)",
-    )
     translate.add_argument(
         "--show", choices=["extended", "program", "sql", "all"], default="all",
         help="which artifact(s) to print",
     )
 
-    answer = commands.add_parser("answer", help="generate a document, shred it and answer a query")
+    answer = commands.add_parser(
+        "answer",
+        help="generate a document, shred it and answer a query",
+        parents=[_engine_flags(strategy=True, backend=True, optimize=True)],
+    )
     answer.add_argument("dtd", help="paper DTD name or file path")
     answer.add_argument("query", help="XPath query to answer")
     answer.add_argument("--elements", type=int, default=2000, help="approximate document size")
@@ -178,14 +220,6 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--x-r", type=int, default=4, help="maximum repetition (X_R)")
     answer.add_argument("--limit", type=int, default=20, help="print at most this many matches")
     answer.add_argument(
-        "--strategy", choices=sorted(_STRATEGIES), default="cycleex",
-        help="descendant-axis expansion (default: cycleex)",
-    )
-    answer.add_argument(
-        "--backend", choices=backend_names(), default="memory",
-        help="execution backend (default: memory)",
-    )
-    answer.add_argument(
         "--repeat", type=int, default=1,
         help="answer the query this many times through the warm service (default: 1)",
     )
@@ -193,18 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the translation-plan cache (every repeat re-translates)",
     )
-    answer.add_argument(
-        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
-        help="program-optimizer level (default: 2)",
-    )
 
-    experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
+    experiment = commands.add_parser(
+        "experiment",
+        help="run one of the paper's experiments",
+        parents=[_engine_flags(backend=True, optimize=True)],
+    )
     experiment.add_argument("name", choices=["exp1", "exp2", "exp3", "exp4", "exp5"])
     experiment.add_argument("--quick", action="store_true", help="reduced sweep")
-    experiment.add_argument(
-        "--backend", choices=backend_names(), default="memory",
-        help="execution backend for exp1-exp4 (default: memory)",
-    )
     experiment.add_argument(
         "--seed", type=int, default=None,
         help="document-generator seed for exp1-exp4 (default: each experiment's fixed seed)",
@@ -212,10 +242,6 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--elements", type=int, default=None,
         help="document element budget for exp1-exp4 (default: each experiment's sweep)",
-    )
-    experiment.add_argument(
-        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
-        help="program-optimizer level for exp1-exp4 (default: 2)",
     )
 
     diff = commands.add_parser(
@@ -267,7 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     fuzz = commands.add_parser(
-        "fuzz", help="randomized cross-engine differential fuzzing"
+        "fuzz",
+        help="randomized cross-engine differential fuzzing",
+        parents=[_engine_flags(optimize=True)],
     )
     fuzz.add_argument("--seed", type=int, default=0, help="master seed of the sweep")
     fuzz.add_argument("--budget", type=int, default=100, help="number of generated cases")
@@ -285,7 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--x-r", type=int, default=3, help="maximum repetition (X_R)")
     fuzz.add_argument(
         "--strategies", default=None,
-        help=f"comma-separated descendant strategies (default: all of {','.join(sorted(_STRATEGIES))})",
+        help=f"comma-separated descendant strategies (default: all of {','.join(strategy_names())})",
     )
     fuzz.add_argument(
         "--backends", default=None,
@@ -301,11 +329,6 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--replay", metavar="PATH", default=None,
         help="replay a saved corpus (a .json case file or a directory) instead of fuzzing",
-    )
-    fuzz.add_argument(
-        "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
-        help="pin the program-optimizer level of every engine (default: the "
-        "pipeline default, plus a level-0 sentinel engine)",
     )
 
     bench_optimizer = commands.add_parser(
@@ -342,13 +365,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 def _cmd_translate(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd)
-    options = push_selection_options() if args.push_selections else standard_options()
-    translator = XPathToSQLTranslator(
-        dtd,
-        strategy=_STRATEGIES[args.strategy],
-        options=options,
-        optimize_level=args.optimize_level,
-    )
+    config = engine_config_from_args(args)
+    translator = XPathToSQLTranslator(dtd, config=config)
     result = translator.translate(args.query)
     if args.strategy == "auto" and result.strategy is not None:
         print(f"-- strategy: auto -> {result.strategy.value} --")
@@ -362,8 +380,9 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         print(result.program)
         print()
     if args.show in ("sql", "all"):
-        print(f"-- SQL ({args.dialect}) --")
-        print(result.sql(_DIALECTS[args.dialect]))
+        dialect = config.resolved_dialect()
+        print(f"-- SQL ({dialect.value}) --")
+        print(result.sql(dialect))
     profile = result.operator_profile()
     print()
     print(
@@ -382,13 +401,10 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     document = generate_document(
         dtd, x_l=args.x_l, x_r=args.x_r, seed=args.seed, max_elements=args.elements
     )
-    with QueryService(
-        dtd,
-        strategy=_STRATEGIES[args.strategy],
-        backend=args.backend,
-        cache_capacity=0 if args.no_cache else 128,
-        optimize_level=args.optimize_level,
-    ) as service:
+    config = engine_config_from_args(args)
+    if args.no_cache:
+        config = config.with_(plan_cache_size=0, result_cache_size=0)
+    with QueryService(dtd, config=config) as service:
         store = service.register_document("doc", document)
         executed = service.execute(args.query)
         matches = store.shredded.nodes_for_ids(executed.node_ids())
@@ -530,10 +546,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     strategies = None
     if args.strategies:
-        try:
-            strategies = [_STRATEGIES[name] for name in args.strategies.split(",") if name]
-        except KeyError as exc:
-            raise SystemExit(f"unknown strategy {exc.args[0]!r} (known: {', '.join(sorted(_STRATEGIES))})")
+        from repro.core.xpath_to_expath import DescendantStrategy
+
+        strategies = []
+        for name in args.strategies.split(","):
+            if not name:
+                continue
+            try:
+                strategies.append(DescendantStrategy(name))
+            except ValueError:
+                raise SystemExit(
+                    f"unknown strategy {name!r} (known: {', '.join(strategy_names())})"
+                ) from None
     backends = None
     if args.backends:
         known = set(backend_names())

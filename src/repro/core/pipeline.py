@@ -20,10 +20,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union as TUnion
 
+from typing import TYPE_CHECKING
+
 from repro.core.expath_to_sql import ExtendedToSQL, TranslationOptions
 from repro.core.optimize import (
     DEFAULT_OPTIMIZE_LEVEL,
-    OPTIMIZE_LEVELS,
     ProgramOptimizer,
     select_strategy,
 )
@@ -49,6 +50,9 @@ from repro.shredding.shredder import ShreddedDocument, shred_document
 from repro.xmltree.tree import XMLNode, XMLTree
 from repro.xpath.ast import Path
 from repro.xpath.parser import parse_xpath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import EngineConfig
 
 __all__ = ["TranslationResult", "XPathToSQLTranslator", "answer_xpath"]
 
@@ -98,15 +102,24 @@ class XPathToSQLTranslator:
     ----------
     dtd:
         The DTD queries range over.
+    config:
+        The preferred way to configure the translator: one
+        :class:`~repro.api.EngineConfig` supplying the strategy, lowering
+        options, optimizer level and cache dialect.  Mutually exclusive
+        with the legacy per-knob arguments below.
     strategy:
-        Descendant-axis strategy: ``CYCLEEX`` (paper, default), ``CYCLEE``
-        (Tarjan regular expressions, baseline "E") or ``RECURSIVE_UNION``
-        (SQL'99 recursion, baseline "R"/SQLGen-R).
+        *(legacy shim; prefer ``config``.)*  Descendant-axis strategy:
+        ``CYCLEEX`` (paper, default), ``CYCLEE`` (Tarjan regular
+        expressions, baseline "E") or ``RECURSIVE_UNION`` (SQL'99
+        recursion, baseline "R"/SQLGen-R).
     options:
-        Lowering options (small seeds / selection pushing); defaults to the
-        paper's standard implementation (small seeds, no pushing).
+        *(legacy shim; prefer ``config``.)*  Lowering options (small seeds
+        / selection pushing); defaults to the paper's standard
+        implementation (small seeds, no pushing).
     mapping:
         Storage mapping; defaults to the simplified per-type mapping.
+        (Orthogonal to ``config``: mappings are objects, not serializable
+        knobs.)
     plan_cache:
         Optional :class:`~repro.core.plancache.PlanCache`.  When set,
         :meth:`translate` becomes a cache lookup keyed by (DTD fingerprint,
@@ -115,8 +128,9 @@ class XPathToSQLTranslator:
         cache on.  Caching is semantically invisible: a hit returns the
         same :class:`TranslationResult` a fresh translation would produce.
     cache_dialect:
-        The SQL dialect recorded in cache keys (plans destined for
-        different dialects must not alias once rendered).
+        *(legacy shim; prefer ``config``.)*  The SQL dialect recorded in
+        cache keys (plans destined for different dialects must not alias
+        once rendered).
 
     Example
     -------
@@ -130,22 +144,37 @@ class XPathToSQLTranslator:
     def __init__(
         self,
         dtd: DTD,
-        strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
+        strategy: Optional[DescendantStrategy] = None,
         options: Optional[TranslationOptions] = None,
         mapping: Optional[SimpleMapping] = None,
         plan_cache: Optional[PlanCache] = None,
-        cache_dialect: SQLDialect = SQLDialect.GENERIC,
+        cache_dialect: Optional[SQLDialect] = None,
         optimize_level: Optional[int] = None,
+        config: Optional["EngineConfig"] = None,
     ) -> None:
-        level = DEFAULT_OPTIMIZE_LEVEL if optimize_level is None else optimize_level
-        if level not in OPTIMIZE_LEVELS:
-            raise ValueError(
-                f"optimize_level must be one of {OPTIMIZE_LEVELS}, got {optimize_level!r}"
-            )
+        # Imported here, not at module level: repro.api.config is the top
+        # of the layering and importing it from this (lower) module at
+        # import time would close an import cycle through repro.core.
+        from repro.api.config import resolve_engine_config
+
+        config = resolve_engine_config(
+            config,
+            strategy=strategy,
+            options=options,
+            cache_dialect=cache_dialect,
+            optimize_level=optimize_level,
+        )
+        strategy = config.strategy
+        level = (
+            DEFAULT_OPTIMIZE_LEVEL
+            if config.optimize_level is None
+            else config.optimize_level
+        )
+        self._config = config
         self._dtd = dtd
         self._mapping = mapping or SimpleMapping(dtd)
         self._strategy = strategy
-        self._options = options or TranslationOptions()
+        self._options = config.translation_options()
         # Front ends are created lazily per concrete strategy: the AUTO
         # strategy resolves per query and may use several of them.
         self._front_ends: Dict[DescendantStrategy, XPathToExtended] = {}
@@ -163,12 +192,17 @@ class XPathToSQLTranslator:
             dtd=dtd, mapping=self._mapping, level=level
         )
         self._plan_cache = plan_cache
-        self._cache_dialect = cache_dialect
+        self._cache_dialect = config.resolved_dialect()
         self._dtd_fingerprint: Optional[str] = None
         self._options_fingerprint: Optional[str] = None
         self._mapping_fingerprint: Optional[str] = None
 
     # -- accessors --------------------------------------------------------------
+
+    @property
+    def config(self) -> "EngineConfig":
+        """The (resolved) engine configuration this translator runs under."""
+        return self._config
 
     @property
     def dtd(self) -> DTD:
@@ -329,13 +363,21 @@ def answer_xpath(
     query: QueryLike,
     tree: XMLTree,
     dtd: DTD,
-    strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
+    strategy: Optional[DescendantStrategy] = None,
     options: Optional[TranslationOptions] = None,
     optimize_level: Optional[int] = None,
+    config: Optional["EngineConfig"] = None,
 ) -> List[XMLNode]:
-    """One-shot helper: shred ``tree`` and answer ``query`` through the RDBMS path."""
+    """One-shot helper: shred ``tree`` and answer ``query`` through the RDBMS path.
+
+    Configure with ``config`` (preferred) or the legacy per-knob arguments.
+    """
     translator = XPathToSQLTranslator(
-        dtd, strategy=strategy, options=options, optimize_level=optimize_level
+        dtd,
+        strategy=strategy,
+        options=options,
+        optimize_level=optimize_level,
+        config=config,
     )
     shredded = translator.shred(tree)
     return translator.answer(query, shredded)

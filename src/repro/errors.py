@@ -58,3 +58,31 @@ class ViewError(ReproError):
 
 class GenerationError(ReproError):
     """Raised when the synthetic XML generator cannot satisfy its parameters."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid :class:`~repro.api.EngineConfig` values.
+
+    Also subclasses :class:`ValueError` so pre-facade callers that caught
+    ``ValueError`` around constructor kwargs keep working unchanged.
+    """
+
+
+class SessionError(ReproError, ValueError):
+    """Base class for engine/session lifecycle and document-registry errors.
+
+    Also subclasses :class:`ValueError` for backward compatibility with the
+    pre-facade :class:`~repro.service.QueryService` error contract.
+    """
+
+
+class SessionClosedError(SessionError):
+    """Raised when a closed :class:`~repro.api.Session`/service is used."""
+
+
+class UnknownDocumentError(SessionError):
+    """Raised when a document id does not name a registered document."""
+
+
+class DuplicateDocumentError(SessionError):
+    """Raised when a document id is registered twice."""

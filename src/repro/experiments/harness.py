@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.api.config import EngineConfig, resolve_engine_config
 from repro.backends import Backend, backend_names, create_backend
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.optimize import push_selection_options, standard_options
@@ -52,6 +53,10 @@ class Approach:
     ``E`` and ``X`` both use the optimised lowering of Sect. 5.2 (prefix
     joins and selections pushed into the LFP operator); they differ only in
     how ``//`` is expanded, which is exactly the comparison the paper makes.
+
+    The knobs resolve through :class:`~repro.api.EngineConfig`
+    (:meth:`engine_config`), so an approach is just a *named* engine
+    configuration; :meth:`from_config` builds one straight from a config.
     """
 
     name: str
@@ -59,14 +64,28 @@ class Approach:
     options: TranslationOptions
     optimize_level: Optional[int] = None
 
-    def translator(self, dtd: DTD) -> XPathToSQLTranslator:
-        """Build a translator for this approach over ``dtd``."""
-        return XPathToSQLTranslator(
-            dtd,
+    @classmethod
+    def from_config(cls, name: str, config: EngineConfig) -> "Approach":
+        """Name an engine configuration as an experiment approach."""
+        return cls(
+            name,
+            config.strategy,
+            config.translation_options(),
+            config.optimize_level,
+        )
+
+    def engine_config(self) -> EngineConfig:
+        """This approach's knobs as one :class:`EngineConfig`."""
+        return resolve_engine_config(
+            None,
             strategy=self.strategy,
             options=self.options,
             optimize_level=self.optimize_level,
         )
+
+    def translator(self, dtd: DTD) -> XPathToSQLTranslator:
+        """Build a translator for this approach over ``dtd``."""
+        return XPathToSQLTranslator(dtd, config=self.engine_config())
 
 
 def default_approaches(

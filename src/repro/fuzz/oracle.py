@@ -24,9 +24,9 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.api.config import EngineConfig
 from repro.backends import create_backend
 from repro.core.expath_to_sql import TranslationOptions
-from repro.core.optimize import baseline_options, push_selection_options
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.fuzz.cases import FuzzCase
@@ -45,19 +45,72 @@ __all__ = [
 REFERENCE_ENGINE = "evaluator"
 
 
-@dataclass(frozen=True)
 class EngineSpec:
-    """One engine of the oracle: backend + strategy + optimisation settings.
+    """One engine of the oracle — a thin, named view over :class:`EngineConfig`.
 
+    Historically this dataclass carried its own copy of the engine knobs;
+    it is now a wrapper so that a knob added to
+    :class:`~repro.api.EngineConfig` is automatically part of the fuzz grid
+    identity, serialization and program-sharing key with no oracle change.
+    The legacy constructor shape (``backend``, ``strategy``, ``optimized``,
+    ``optimize_level``) still works: ``optimized`` maps onto the config's
+    lowering options (``True`` = small seeds + pushed selections, the
+    Sect. 5.2 "opt" setting; ``False`` = the full-seed baseline), and
     ``optimize_level`` is the *program-optimizer* level (PR 4's pass
-    pipeline); ``None`` means the pipeline default.  ``optimized`` controls
-    the Sect. 5.2 data-dependent lowering options, as before.
+    pipeline; ``None`` means the pipeline default).
     """
 
-    backend: str
-    strategy: DescendantStrategy
-    optimized: bool = True
-    optimize_level: Optional[int] = None
+    __slots__ = ("_config",)
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        strategy: Optional[DescendantStrategy] = None,
+        optimized: bool = True,
+        optimize_level: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        if config is None:
+            if backend is None or strategy is None:
+                raise ValueError("EngineSpec needs backend+strategy or config=")
+            config = EngineConfig(
+                backend=backend,
+                strategy=strategy,
+                optimize_level=optimize_level,
+                use_small_seed=bool(optimized),
+                push_selections=bool(optimized),
+            )
+        elif backend is not None or strategy is not None:
+            raise ValueError("pass either config= or backend/strategy, not both")
+        object.__setattr__(self, "_config", config)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("EngineSpec is immutable")
+
+    @property
+    def config(self) -> EngineConfig:
+        """The full engine configuration this spec denotes."""
+        return self._config
+
+    @property
+    def backend(self) -> str:
+        """Execution-backend name."""
+        return self._config.backend
+
+    @property
+    def strategy(self) -> DescendantStrategy:
+        """Descendant-axis expansion strategy."""
+        return self._config.strategy
+
+    @property
+    def optimized(self) -> bool:
+        """True when the Sect. 5.2 lowering optimisations are on."""
+        return self._config.push_selections
+
+    @property
+    def optimize_level(self) -> Optional[int]:
+        """Pinned program-optimizer level (``None`` = pipeline default)."""
+        return self._config.optimize_level
 
     @property
     def name(self) -> str:
@@ -68,7 +121,25 @@ class EngineSpec:
 
     def options(self) -> TranslationOptions:
         """The lowering options this engine translates with."""
-        return push_selection_options() if self.optimized else baseline_options()
+        return self._config.translation_options()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (exactly the underlying config's)."""
+        return self._config.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(config=EngineConfig.from_dict(data))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EngineSpec) and self._config == other._config
+
+    def __hash__(self) -> int:
+        return hash(self._config)
+
+    def __repr__(self) -> str:
+        return f"EngineSpec(config={self._config!r})"
 
 
 def default_engines(
@@ -197,10 +268,10 @@ class DifferentialOracle:
             return outcome
 
         backends: Dict[str, object] = {}
-        # Engines sharing (strategy, optimisation, optimizer level) run the
-        # very same program (e.g. memory/opt and sqlite/opt), so translate
-        # each point once.
-        programs: Dict[Tuple[DescendantStrategy, bool, Optional[int]], object] = {}
+        # Engines whose configs share a translation signature run the very
+        # same program (e.g. memory/opt and sqlite/opt), so translate each
+        # point once.
+        programs: Dict[Tuple[object, ...], object] = {}
         try:
             for engine in self._engines:
                 try:
@@ -208,15 +279,10 @@ class DifferentialOracle:
                     if backend is None:
                         backend = create_backend(engine.backend, shredded.database)
                         backends[engine.backend] = backend
-                    program_key = (engine.strategy, engine.optimized, engine.optimize_level)
+                    program_key = engine.config.translation_signature()
                     program = programs.get(program_key)
                     if program is None:
-                        translator = XPathToSQLTranslator(
-                            dtd,
-                            strategy=engine.strategy,
-                            options=engine.options(),
-                            optimize_level=engine.optimize_level,
-                        )
+                        translator = XPathToSQLTranslator(dtd, config=engine.config)
                         program = translator.translate(query).program
                         programs[program_key] = program
                     result = backend.execute(program)  # type: ignore[attr-defined]

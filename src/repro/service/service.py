@@ -35,8 +35,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.api.config import EngineConfig, resolve_engine_config
 from repro.backends import create_backend
 from repro.backends.base import Backend, BackendResult, PreparedProgram
 from repro.core.expath_to_sql import TranslationOptions
@@ -44,19 +45,18 @@ from repro.core.pipeline import QueryLike, TranslationResult, XPathToSQLTranslat
 from repro.core.plancache import CacheInfo, PlanCache, PlanKey
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
-from repro.relational.sqlgen import SQLDialect
+from repro.errors import (
+    ConfigError,
+    DuplicateDocumentError,
+    SessionClosedError,
+    UnknownDocumentError,
+)
 from repro.shredding.inlining import SimpleMapping
 from repro.shredding.shredder import ShreddedDocument
 from repro.xmltree.tree import XMLNode, XMLTree
 from repro.xpath.parser import parse_xpath
 
 __all__ = ["DocumentStore", "QueryService"]
-
-# Dialect each backend's plans are rendered/keyed under.
-_BACKEND_DIALECTS: Dict[str, SQLDialect] = {
-    "memory": SQLDialect.GENERIC,
-    "sqlite": SQLDialect.SQLITE,
-}
 
 
 class DocumentStore:
@@ -133,27 +133,42 @@ class QueryService:
     ----------
     dtd:
         The DTD all queries and documents range over.
-    strategy / options / mapping:
-        Forwarded to the underlying translator (same defaults).
+    config:
+        The preferred way to configure the service: one
+        :class:`~repro.api.EngineConfig` supplying strategy, lowering
+        options, backend, optimizer level and cache sizing
+        (``plan_cache_size`` sizes plans and prepared programs,
+        ``result_cache_size`` the per-store result LRU; ``0`` disables a
+        layer).  Mutually exclusive with the legacy per-knob arguments.
+    strategy / options:
+        *(legacy shims; prefer ``config``.)*  Forwarded to the underlying
+        translator (same defaults).
+    mapping:
+        Storage mapping forwarded to the translator (an object, so
+        orthogonal to ``config``).
     backend:
-        Execution backend name for document stores (``memory`` default).
+        *(legacy shim; prefer ``config``.)*  Execution backend name for
+        document stores (``memory`` default).
     cache_capacity:
-        Sizes every cache layer (plans, prepared programs, results); ``0``
-        disables all of them — every call translates, prepares and
-        executes afresh, the fully stateless baseline for benchmarks.
+        *(legacy shim; prefer ``config``.)*  Sizes every cache layer
+        (plans, prepared programs, results); ``0`` disables all of them —
+        every call translates, prepares and executes afresh, the fully
+        stateless baseline for benchmarks.
     plan_cache:
         Pass an existing :class:`PlanCache` to share one cache across
-        services (e.g. several services over the same DTD); overrides
-        ``cache_capacity``.
+        services (e.g. several services over the same DTD, or all sessions
+        of one :class:`~repro.api.Engine`); overrides the configured
+        plan-cache sizing.
     result_cache:
-        Memoize finished backend results per store (default on; registered
-        documents are immutable, so this is semantically invisible).  Off
-        means every answer executes on the backend — the mode that isolates
-        plan-cache gains in benchmarks.
+        *(legacy shim; prefer ``config``.)*  Memoize finished backend
+        results per store (default on; registered documents are immutable,
+        so this is semantically invisible).  Off means every answer
+        executes on the backend — the mode that isolates plan-cache gains
+        in benchmarks.
     optimize_level:
-        Program-optimizer level (0/1/2) forwarded to the translator; part
-        of every plan-cache key, so services at different levels never
-        alias plans.
+        *(legacy shim; prefer ``config``.)*  Program-optimizer level
+        (0/1/2) forwarded to the translator; part of every plan-cache key,
+        so services at different levels never alias plans.
 
     Example
     -------
@@ -172,44 +187,81 @@ class QueryService:
     def __init__(
         self,
         dtd: DTD,
-        strategy: DescendantStrategy = DescendantStrategy.CYCLEEX,
+        strategy: Optional[DescendantStrategy] = None,
         options: Optional[TranslationOptions] = None,
         mapping: Optional[SimpleMapping] = None,
-        backend: str = "memory",
-        cache_capacity: int = 128,
+        backend: Optional[str] = None,
+        cache_capacity: Optional[int] = None,
         plan_cache: Optional[PlanCache] = None,
-        result_cache: bool = True,
+        result_cache: Optional[bool] = None,
         optimize_level: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
     ) -> None:
-        if cache_capacity < 0:
-            raise ValueError(f"cache_capacity must be >= 0, got {cache_capacity}")
+        if cache_capacity is not None and cache_capacity < 0:
+            raise ConfigError(f"cache_capacity must be >= 0, got {cache_capacity}")
+        legacy_mode = config is None
+        if not legacy_mode and (cache_capacity is not None or result_cache is not None):
+            raise ConfigError(
+                "pass either config= or the legacy cache keyword(s), not both"
+            )
+        config = resolve_engine_config(
+            config,
+            strategy=strategy,
+            options=options,
+            backend=backend,
+            optimize_level=optimize_level,
+            # Legacy sizing: one capacity for every layer, result cache
+            # on/off; the config captures the resolved numbers.
+            plan_cache_size=cache_capacity,
+            result_cache_size=(
+                None
+                if result_cache is None and cache_capacity is None
+                else (0 if result_cache is False else (128 if cache_capacity is None else cache_capacity))
+            ),
+        )
+        self._config = config
         self._dtd = dtd
-        self._backend_name = backend
-        dialect = _BACKEND_DIALECTS.get(backend, SQLDialect.GENERIC)
+        self._backend_name = config.backend
         if plan_cache is not None:
             self._plan_cache: Optional[PlanCache] = plan_cache
-        elif cache_capacity > 0:
-            self._plan_cache = PlanCache(cache_capacity)
+        elif config.plan_cache_size > 0:
+            self._plan_cache = PlanCache(config.plan_cache_size)
         else:
             self._plan_cache = None
         self._translator = XPathToSQLTranslator(
             dtd,
-            strategy=strategy,
-            options=options,
             mapping=mapping,
             plan_cache=self._plan_cache,
-            cache_dialect=dialect,
-            optimize_level=optimize_level,
+            config=config,
         )
         self._prepared_capacity = (
             self._plan_cache.capacity if self._plan_cache is not None else 0
         )
-        self._result_capacity = self._prepared_capacity if result_cache else 0
+        if legacy_mode:
+            # Pre-config contract: results sized like the (possibly shared)
+            # plan cache, switched off by result_cache=False.
+            self._result_capacity = (
+                0 if result_cache is False else self._prepared_capacity
+            )
+        else:
+            self._result_capacity = config.result_cache_size
+        # Re-anchor the config on the capacities actually in effect (a
+        # shared plan_cache instance brings its own size), so that
+        # rebuilding a service from self.config reproduces this one.
+        self._config = config.with_(
+            plan_cache_size=self._prepared_capacity,
+            result_cache_size=self._result_capacity,
+        )
         self._stores: "OrderedDict[str, DocumentStore]" = OrderedDict()
         self._lock = threading.Lock()
         self._closed = False
 
     # -- accessors ---------------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        """The (resolved) engine configuration this service runs under."""
+        return self._config
 
     @property
     def dtd(self) -> DTD:
@@ -263,7 +315,9 @@ class QueryService:
         self._check_open()
         with self._lock:
             if document_id in self._stores:
-                raise ValueError(f"document {document_id!r} is already registered")
+                raise DuplicateDocumentError(
+                    f"document {document_id!r} is already registered"
+                )
         shredded = self._translator.shred(tree)
         store = DocumentStore(
             document_id=document_id,
@@ -275,7 +329,10 @@ class QueryService:
         with self._lock:
             if self._closed or document_id in self._stores:
                 store.close()
-                raise ValueError(
+                error = (
+                    SessionClosedError if self._closed else DuplicateDocumentError
+                )
+                raise error(
                     f"cannot register {document_id!r}: "
                     + ("service is closed" if self._closed else "already registered")
                 )
@@ -287,7 +344,7 @@ class QueryService:
         with self._lock:
             store = self._stores.pop(document_id, None)
         if store is None:
-            raise ValueError(f"unknown document {document_id!r}")
+            raise UnknownDocumentError(f"unknown document {document_id!r}")
         store.close()
 
     def store(self, document_id: Optional[str] = None) -> DocumentStore:
@@ -297,14 +354,14 @@ class QueryService:
             if document_id is None:
                 if len(self._stores) == 1:
                     return next(iter(self._stores.values()))
-                raise ValueError(
+                raise UnknownDocumentError(
                     f"document_id is required: {len(self._stores)} document(s) registered"
                 )
             try:
                 return self._stores[document_id]
             except KeyError:
                 known = ", ".join(sorted(self._stores)) or "<none>"
-                raise ValueError(
+                raise UnknownDocumentError(
                     f"unknown document {document_id!r} (registered: {known})"
                 ) from None
 
@@ -361,7 +418,7 @@ class QueryService:
         the SQLite backend gives each pool thread its own connection.
         """
         if threads < 1:
-            raise ValueError(f"threads must be >= 1, got {threads}")
+            raise ConfigError(f"threads must be >= 1, got {threads}")
         store = self.store(document_id)
 
         def one(query: QueryLike) -> List[XMLNode]:
@@ -385,7 +442,7 @@ class QueryService:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise ValueError("query service is closed")
+            raise SessionClosedError("query service is closed")
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,256 @@
+""":class:`Engine`/:class:`Session` facade behaviour.
+
+Lifecycle (context managers, typed closed-errors), document registration
+shapes, :class:`QueryResult` metadata and lazy node materialization, and
+the deprecation shims (legacy kwarg constructors still agree with the
+config-based facade).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    Engine,
+    EngineConfig,
+    QueryResult,
+    Session,
+    SessionClosedError,
+)
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.dtd.samples import dept_dtd
+from repro.errors import ConfigError, DuplicateDocumentError, UnknownDocumentError
+from repro.service import QueryService
+from repro.xmltree.generator import generate_document
+
+QUERY = "dept//project"
+
+
+@pytest.fixture(scope="module")
+def dtd():
+    return dept_dtd()
+
+
+@pytest.fixture(scope="module")
+def document(dtd):
+    return generate_document(dtd, x_l=7, x_r=3, seed=11, max_elements=600)
+
+
+class TestEngineConstruction:
+    def test_from_dtd_accepts_dtd_object(self, dtd):
+        engine = Engine.from_dtd(dtd)
+        assert engine.dtd is dtd
+        assert engine.config == EngineConfig()
+
+    def test_from_dtd_accepts_sample_name(self):
+        engine = Engine.from_dtd("dept")
+        assert engine.dtd.name == "dept"
+
+    def test_from_dtd_accepts_grammar_text(self, dtd):
+        engine = Engine.from_dtd(dtd.to_text())
+        assert set(engine.dtd.element_types) == set(dtd.element_types)
+
+    def test_from_dtd_knobs_apply_on_top_of_config(self, dtd):
+        engine = Engine.from_dtd(dtd, EngineConfig(backend="sqlite"), optimize_level=0)
+        assert engine.config.backend == "sqlite"
+        assert engine.config.optimize_level == 0
+
+    def test_from_dtd_rejects_other_types(self):
+        with pytest.raises(ConfigError):
+            Engine.from_dtd(42)  # type: ignore[arg-type]
+
+    def test_from_dtd_names_unknown_sample(self):
+        # A mistyped sample name gets a name error, not a grammar error.
+        with pytest.raises(ConfigError, match="unknown sample DTD 'detp'"):
+            Engine.from_dtd("detp")
+
+    def test_translate_sql_explain(self, dtd):
+        engine = Engine.from_dtd(dtd)
+        result = engine.translate(QUERY)
+        assert result.operator_profile().joins >= 1
+        assert "SELECT" in engine.sql(QUERY)
+        explanation = engine.explain(QUERY)
+        assert "strategy:" in explanation and "profile:" in explanation
+
+
+class TestSessions:
+    def test_single_tree_gets_default_id(self, dtd, document):
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            assert session.document_ids() == ["doc"]
+
+    def test_mapping_of_documents(self, dtd, document):
+        docs = {"a": document, "b": document}
+        with Engine.from_dtd(dtd).open_session(docs) as session:
+            assert session.document_ids() == ["a", "b"]
+            assert len(session.answer(QUERY, "a")) == len(session.answer(QUERY, "b"))
+
+    def test_sequence_of_documents(self, dtd, document):
+        with Engine.from_dtd(dtd).open_session([document, document]) as session:
+            assert session.document_ids() == ["doc0", "doc1"]
+
+    def test_singleton_sequence_keeps_indexed_id(self, dtd, document):
+        # Sequence ids never shift with length: [tree] is doc0, not doc.
+        with Engine.from_dtd(dtd).open_session([document]) as session:
+            assert session.document_ids() == ["doc0"]
+
+    def test_mapping_values_are_validated(self, dtd):
+        with pytest.raises(ConfigError, match="not an XMLTree"):
+            Engine.from_dtd(dtd).open_session({"doc": "<xml/>"})  # type: ignore[dict-item]
+
+    def test_add_document_and_unknown_id(self, dtd, document):
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            session.add_document("second", document)
+            assert session.document_ids() == ["doc", "second"]
+            with pytest.raises(UnknownDocumentError):
+                session.answer(QUERY, "third")
+            with pytest.raises(DuplicateDocumentError):
+                session.add_document("doc", document)
+
+    def test_answer_batch_orders_and_threads(self, dtd, document):
+        queries = [QUERY, "dept//cno", QUERY]
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            serial = session.answer_batch(queries)
+            threaded = session.answer_batch(queries, threads=4)
+        assert [r.node_ids() for r in serial] == [r.node_ids() for r in threaded]
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            with pytest.raises(ConfigError):
+                session.answer_batch(queries, threads=0)
+
+    def test_stream_yields_nodes_in_document_order(self, dtd, document):
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            streamed = list(session.stream(QUERY))
+            answered = session.answer(QUERY).nodes()
+        assert [n.node_id for n in streamed] == [n.node_id for n in answered]
+
+    def test_sessions_share_the_engine_plan_cache(self, dtd, document):
+        engine = Engine.from_dtd(dtd)
+        with engine.open_session(document) as first:
+            first.answer(QUERY)
+            misses_after_first = engine.plan_cache.cache_info().misses
+            with engine.open_session(document) as second:
+                second.answer(QUERY)
+                # The second session answered from the shared cache.
+                assert engine.plan_cache.cache_info().misses == misses_after_first
+                assert engine.plan_cache.cache_info().hits > 0
+
+
+class TestQueryResult:
+    def test_metadata(self, dtd, document):
+        config = EngineConfig(strategy="auto", backend="sqlite", optimize_level=2)
+        with Engine.from_dtd(dtd, config).open_session(document) as session:
+            result = session.answer(QUERY)
+        assert isinstance(result, QueryResult)
+        assert result.query == QUERY
+        assert result.document_id == "doc"
+        assert result.backend == "sqlite"
+        assert result.plan.optimize_level == 2
+        assert result.plan.strategy is not None
+        assert "elapsed_seconds" in result.stats
+        assert result.row_count == len(result.rows)
+
+    def test_plan_is_lazy_and_cached(self, dtd, document):
+        engine = Engine.from_dtd(dtd, EngineConfig(plan_cache_size=0, result_cache_size=0))
+        with engine.open_session(document) as session:
+            result = session.answer(QUERY)
+            assert result._plan is None  # not derived until asked for
+            assert result.plan is result.plan  # derived once, then cached
+
+    def test_service_config_reflects_shared_plan_cache_capacity(self, dtd):
+        from repro.core.plancache import PlanCache
+
+        service = QueryService(dtd, plan_cache=PlanCache(8))
+        assert service.config.plan_cache_size == 8
+        assert service.config.result_cache_size == 8
+
+    def test_lazy_node_materialization(self, dtd, document):
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            result = session.answer(QUERY)
+        assert result._nodes is None  # nothing materialized yet
+        count = len(result)
+        assert result._nodes is not None
+        assert count == len(result.nodes())
+        assert result.nodes() is result.nodes()  # materialized once
+        assert {node.node_id for node in result} == {
+            int(node_id) for node_id in result.node_ids()
+        }
+
+    def test_truthiness_without_materialization(self, dtd, document):
+        with Engine.from_dtd(dtd).open_session(document) as session:
+            hit = session.answer(QUERY)
+            miss = session.answer("dept/project")  # project is never a direct child
+            assert bool(hit) is True
+            assert bool(miss) is False
+            assert hit._nodes is None and miss._nodes is None
+
+
+class TestLifecycle:
+    def test_closing_engine_closes_sessions(self, dtd, document):
+        engine = Engine.from_dtd(dtd)
+        session = engine.open_session(document)
+        engine.close()
+        assert engine.closed and session.closed
+        with pytest.raises(SessionClosedError):
+            session.answer(QUERY)
+        with pytest.raises(SessionClosedError):
+            engine.open_session(document)
+
+    def test_session_close_is_idempotent_and_independent(self, dtd, document):
+        engine = Engine.from_dtd(dtd)
+        first = engine.open_session(document)
+        second = engine.open_session(document)
+        first.close()
+        first.close()
+        assert not engine.closed
+        assert len(second.answer(QUERY)) > 0
+        engine.close()
+
+    def test_context_managers(self, dtd, document):
+        with Engine.from_dtd(dtd) as engine:
+            with engine.open_session(document) as session:
+                assert isinstance(session, Session)
+            assert session.closed
+        assert engine.closed
+
+
+class TestDeprecationShims:
+    """Old constructors still work — and agree with the facade."""
+
+    def test_translator_legacy_kwargs_still_work(self, dtd, document):
+        from repro.core.xpath_to_expath import DescendantStrategy
+
+        legacy = XPathToSQLTranslator(
+            dtd, strategy=DescendantStrategy.CYCLEE, optimize_level=1
+        )
+        config_based = XPathToSQLTranslator(
+            dtd, config=EngineConfig(strategy="cyclee", optimize_level=1)
+        )
+        shredded = legacy.shred(document)
+        assert {n.node_id for n in legacy.answer(QUERY, shredded)} == {
+            n.node_id for n in config_based.answer(QUERY, shredded)
+        }
+
+    def test_service_legacy_kwargs_still_work(self, dtd, document):
+        with QueryService(dtd, backend="sqlite", cache_capacity=16) as legacy, \
+                QueryService(
+                    dtd,
+                    config=EngineConfig(
+                        backend="sqlite", plan_cache_size=16, result_cache_size=16
+                    ),
+                ) as config_based:
+            legacy.register_document("d", document)
+            config_based.register_document("d", document)
+            legacy_ids = {n.node_id for n in legacy.answer(QUERY)}
+            config_ids = {n.node_id for n in config_based.answer(QUERY)}
+        assert legacy_ids == config_ids
+
+    def test_translator_rejects_config_plus_legacy(self, dtd):
+        from repro.core.xpath_to_expath import DescendantStrategy
+
+        with pytest.raises(ConfigError, match="not both"):
+            XPathToSQLTranslator(
+                dtd, strategy=DescendantStrategy.AUTO, config=EngineConfig()
+            )
+
+    def test_service_rejects_config_plus_legacy_cache_kwargs(self, dtd):
+        with pytest.raises(ConfigError, match="not both"):
+            QueryService(dtd, cache_capacity=4, config=EngineConfig())

@@ -1,0 +1,96 @@
+"""The public-API surface snapshot.
+
+``repro.__all__`` (and ``repro.api.__all__``) are the supported surface;
+this test pins them to the committed snapshots below so accidental surface
+growth — a new re-export slipping into ``repro/__init__.py`` — fails CI
+instead of silently becoming API.  Growing the surface is fine, but it is
+an explicit act: update the snapshot here in the same change.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api
+
+# The committed snapshot of the top-level surface.  Keep sorted.
+PUBLIC_SURFACE = sorted(
+    [
+        "Backend",
+        "BackendResult",
+        "ConfigError",
+        "DTD",
+        "DescendantStrategy",
+        "DifferentialOracle",
+        "Engine",
+        "EngineConfig",
+        "FuzzCase",
+        "FuzzConfig",
+        "GAVView",
+        "MemoryBackend",
+        "PlanCache",
+        "QueryResult",
+        "QueryService",
+        "ReproError",
+        "SQLDialect",
+        "SQLGenR",
+        "Session",
+        "SessionError",
+        "SqliteBackend",
+        "TranslationOptions",
+        "TranslationResult",
+        "XPathToSQLTranslator",
+        "__version__",
+        "answer_xpath",
+        "create_backend",
+        "generate_document",
+        "parse_dtd",
+        "parse_xpath",
+        "run_fuzz",
+        "shred_document",
+    ]
+)
+
+# The committed snapshot of the facade package's surface.  Keep sorted.
+API_SURFACE = sorted(
+    [
+        "ConfigError",
+        "DuplicateDocumentError",
+        "Engine",
+        "EngineConfig",
+        "QueryResult",
+        "ReproError",
+        "Session",
+        "SessionClosedError",
+        "SessionError",
+        "UnknownDocumentError",
+        "resolve_engine_config",
+    ]
+)
+
+
+class TestPublicSurface:
+    def test_top_level_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == PUBLIC_SURFACE
+
+    def test_api_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == API_SURFACE
+
+    def test_every_top_level_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_every_api_name_resolves(self):
+        # Includes the lazily exported facade classes (PEP 562).
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_no_duplicate_names(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+    def test_facade_is_the_same_object_everywhere(self):
+        # repro.Engine and repro.api.Engine must not drift apart.
+        assert repro.Engine is repro.api.Engine
+        assert repro.EngineConfig is repro.api.EngineConfig
+        assert repro.Session is repro.api.Session
+        assert repro.QueryResult is repro.api.QueryResult

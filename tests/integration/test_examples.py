@@ -1,0 +1,45 @@
+"""Smoke-run every example script through the public facade.
+
+The Issue 5 satellite: ``examples/`` must stay runnable (they are the
+documentation most readers actually execute), so each script runs as a
+subprocess — exactly the way a reader would — and must exit 0 without
+writing to stderr.  All four finish in a couple of seconds total.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4, "examples/ lost scripts?"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\nstderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stderr.strip() == "", f"{script.name} wrote to stderr"
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
