@@ -111,6 +111,12 @@ class EngineConfig:
     result_cache_size:
         LRU capacity of the per-document result cache; ``0`` disables
         result caching.
+    observability:
+        When true, :meth:`repro.api.Session.answer` records a span tree
+        for every query (exposed as :attr:`repro.api.QueryResult.trace`).
+        Off by default: the un-traced instrumentation cost is a no-op
+        check per span site.  Does not affect translation output
+        (excluded from :meth:`translation_signature`).
 
     Example
     -------
@@ -132,6 +138,7 @@ class EngineConfig:
     select_root: bool = True
     plan_cache_size: int = 128
     result_cache_size: int = 128
+    observability: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "strategy", _coerce_strategy(self.strategy))
@@ -151,7 +158,7 @@ class EngineConfig:
                 f"unknown backend {self.backend!r} "
                 f"(known: {', '.join(backend_names())})"
             )
-        for flag in ("use_small_seed", "push_selections", "select_root"):
+        for flag in ("use_small_seed", "push_selections", "select_root", "observability"):
             if not isinstance(getattr(self, flag), bool):
                 raise ConfigError(
                     f"{flag} must be a bool, got {getattr(self, flag)!r}"
@@ -227,6 +234,7 @@ class EngineConfig:
             "select_root": self.select_root,
             "plan_cache_size": self.plan_cache_size,
             "result_cache_size": self.result_cache_size,
+            "observability": self.observability,
         }
 
     @classmethod

@@ -30,6 +30,7 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.api.config import EngineConfig
 from repro.backends.base import BackendResult
 from repro.core.pipeline import QueryLike, TranslationResult, XPathToSQLTranslator
@@ -96,6 +97,7 @@ class QueryResult:
         plan_factory: "Callable[[], TranslationResult]",
         raw: BackendResult,
         shredded: ShreddedDocument,
+        trace: Optional[obs.Span] = None,
     ) -> None:
         self._query = query
         self._document_id = document_id
@@ -104,6 +106,7 @@ class QueryResult:
         self._raw = raw
         self._shredded = shredded
         self._nodes: Optional[List[XMLNode]] = None
+        self._trace = trace
 
     # -- plan metadata ----------------------------------------------------------
 
@@ -128,6 +131,17 @@ class QueryResult:
     def backend(self) -> str:
         """Name of the backend that executed the plan."""
         return self._raw.backend
+
+    @property
+    def trace(self) -> Optional[obs.Span]:
+        """The span tree recorded while answering (``None`` unless the
+        engine was configured with ``observability=True``).
+
+        The tree covers the whole path — plan-cache lookup, translation
+        with its optimizer passes on a cold plan, prepare and execute —
+        and serializes exactly via :meth:`repro.obs.Span.to_dict`.
+        """
+        return self._trace
 
     @property
     def stats(self) -> Mapping[str, float]:
@@ -219,11 +233,23 @@ class Session:
         """Answer ``query`` over one document (the sole one by default).
 
         Returns a :class:`QueryResult`; iterate it for the matching nodes,
-        read ``.plan``/``.stats`` for how the answer was computed.
+        read ``.plan``/``.stats`` for how the answer was computed, and —
+        with ``observability=True`` in the config — ``.trace`` for the
+        span tree of this very call.
         """
         self._check_open()
         store = self._service.store(document_id)
-        raw = self._service.execute(query, store.document_id)
+        trace_root: Optional[obs.Span] = None
+        if self._engine.config.observability:
+            obs.start_trace(
+                "session.answer", query=str(query), document=store.document_id
+            )
+            try:
+                raw = self._service.execute(query, store.document_id)
+            finally:
+                trace_root = obs.end_trace()
+        else:
+            raw = self._service.execute(query, store.document_id)
         # The factory binds the (stateless, plan-cache-backed) translator,
         # not the service, so a returned result stays fully usable after
         # the session closes.  A plan-cache hit when caching is on; with
@@ -235,6 +261,7 @@ class Session:
             plan_factory=lambda: translator.translate(query),
             raw=raw,
             shredded=store.shredded,
+            trace=trace_root,
         )
 
     def answer_batch(
@@ -251,9 +278,13 @@ class Session:
             raise ConfigError(f"threads must be >= 1, got {threads}")
         self._check_open()
         store = self._service.store(document_id)
+        # With an outer trace active (e.g. the CLI's), pool workers adopt
+        # the dispatching thread's span so per-query trees nest under it.
+        parent = obs.current_span()
 
         def one(query: QueryLike) -> QueryResult:
-            return self.answer(query, store.document_id)
+            with obs.attach(parent):
+                return self.answer(query, store.document_id)
 
         if threads == 1 or len(queries) <= 1:
             return [one(query) for query in queries]
@@ -266,10 +297,10 @@ class Session:
         """Answer ``query`` and iterate the matching nodes in document order."""
         return iter(self.answer(query, document_id))
 
-    def explain(self, query: QueryLike) -> str:
+    def explain(self, query: QueryLike, timing: bool = False) -> str:
         """The engine's plan explanation for ``query`` (see :meth:`Engine.explain`)."""
         self._check_open()
-        return self._engine.explain(query)
+        return self._engine.explain(query, timing=timing)
 
     def sql(self, query: QueryLike, dialect: Optional[SQLDialect] = None) -> str:
         """The SQL text ``query`` translates to (session's dialect by default)."""
@@ -415,9 +446,24 @@ class Engine:
         """
         return self.translate(query).sql(dialect or self._config.resolved_dialect())
 
-    def explain(self, query: QueryLike) -> str:
-        """A human-readable plan summary: strategy, level, operator profile."""
-        result = self.translate(query)
+    def explain(self, query: QueryLike, timing: bool = False) -> str:
+        """A human-readable plan summary: strategy, level, operator profile.
+
+        With ``timing=True`` the query is additionally translated fresh
+        (bypassing the plan cache) under a trace, and the summary ends
+        with the per-phase span tree — where translation time actually
+        went.
+        """
+        self._check_open()
+        timing_root: Optional[obs.Span] = None
+        if timing:
+            obs.start_trace("explain", query=str(query))
+            try:
+                result = self._translator.translate_uncached(query)
+            finally:
+                timing_root = obs.end_trace()
+        else:
+            result = self.translate(query)
         profile = result.operator_profile()
         strategy = result.strategy.value if result.strategy else self._config.strategy.value
         lines = [
@@ -431,6 +477,11 @@ class Engine:
             "program:",
         ]
         lines.extend(f"  {line}" for line in str(result.program).splitlines())
+        if timing_root is not None:
+            lines.append("timing:")
+            lines.extend(
+                f"  {line}" for line in obs.render_span_tree(timing_root).splitlines()
+            )
         return "\n".join(lines)
 
     # -- sessions ---------------------------------------------------------------

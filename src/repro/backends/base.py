@@ -21,6 +21,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
 
+from repro import obs
 from repro.relational.algebra import Program
 from repro.relational.database import Database
 from repro.relational.schema import T
@@ -137,7 +138,8 @@ class Backend(abc.ABC):
         The base implementation covers engines with nothing further to
         precompute; backends with a render or planning step override this.
         """
-        return PreparedProgram(backend=self.name, program=program.pruned())
+        with obs.span("prepare", backend=self.name):
+            return PreparedProgram(backend=self.name, program=program.pruned())
 
     def execute_prepared(self, prepared: PreparedProgram) -> BackendResult:
         """Execute a prepared program (must be prepared for this backend)."""

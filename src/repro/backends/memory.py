@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro import obs
 from repro.backends.base import Backend, BackendResult, normalize_rows
 from repro.relational.algebra import Program
 from repro.relational.database import Database
@@ -37,10 +38,12 @@ class MemoryBackend(Backend):
         self._lazy = lazy
 
     def execute(self, program: Program) -> BackendResult:
-        executor = Executor(self._database, lazy=self._lazy)
-        relation = executor.run(program)
-        stats: Dict[str, float] = executor.stats.as_dict()
-        stats["rows"] = len(relation)
+        with obs.span("execute", backend=self.name) as sp:
+            executor = Executor(self._database, lazy=self._lazy)
+            relation = executor.run(program)
+            stats: Dict[str, float] = executor.stats.as_dict()
+            stats["rows"] = len(relation)
+            sp.set(rows=len(relation))
         return BackendResult(
             backend=self.name,
             columns=tuple(relation.columns),

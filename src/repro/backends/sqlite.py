@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.backends.base import Backend, BackendResult, PreparedProgram, normalize_rows
 from repro.errors import ExecutionError
 from repro.relational.algebra import Program
@@ -220,11 +221,13 @@ class SqliteBackend(Backend):
 
     def prepare(self, program: Program) -> PreparedProgram:
         """Prune and render once; repeated execution reuses the statements."""
-        pruned = program.pruned()
-        plan = _SqlitePlan(
-            statements=tuple(program_statements(pruned, SQLDialect.SQLITE)),
-            targets=tuple(assignment.target for assignment in pruned.assignments),
-        )
+        with obs.span("prepare", backend=self.name) as sp:
+            pruned = program.pruned()
+            plan = _SqlitePlan(
+                statements=tuple(program_statements(pruned, SQLDialect.SQLITE)),
+                targets=tuple(assignment.target for assignment in pruned.assignments),
+            )
+            sp.set(statements=len(plan.statements))
         return PreparedProgram(backend=self.name, program=pruned, payload=plan)
 
     def execute_prepared(self, prepared: PreparedProgram) -> BackendResult:
@@ -238,7 +241,9 @@ class SqliteBackend(Backend):
         plan = prepared.payload
         if not isinstance(plan, _SqlitePlan):  # prepared via the base class
             plan = self.prepare(prepared.program).payload
-        columns, rows, elapsed, _ = self._run_plan(plan)
+        with obs.span("execute", backend=self.name, prepared=True) as sp:
+            columns, rows, elapsed, _ = self._run_plan(plan)
+            sp.set(rows=len(rows))
         stats: Dict[str, float] = {
             "rows": len(rows),
             "elapsed_seconds": elapsed,
@@ -256,9 +261,11 @@ class SqliteBackend(Backend):
         prepared = self.prepare(program)
         plan = prepared.payload
         assert isinstance(plan, _SqlitePlan)
-        columns, rows, elapsed, tuples_materialized = self._run_plan(
-            plan, instrument=True
-        )
+        with obs.span("execute", backend=self.name) as sp:
+            columns, rows, elapsed, tuples_materialized = self._run_plan(
+                plan, instrument=True
+            )
+            sp.set(rows=len(rows))
         stats: Dict[str, float] = {
             "rows": len(rows),
             "elapsed_seconds": elapsed,
@@ -285,18 +292,20 @@ class SqliteBackend(Backend):
         elapsed = 0.0
         try:
             for target, statement in zip(plan.targets, plan.statements):
-                start = time.perf_counter()
-                cursor.execute(statement)
-                elapsed += time.perf_counter() - start
+                with obs.span("sql-statement", target=target):
+                    start = time.perf_counter()
+                    cursor.execute(statement)
+                    elapsed += time.perf_counter() - start
                 created.append(target)
                 if instrument:
                     cursor.execute(f"SELECT COUNT(*) FROM {_quoted(target)}")
                     tuples_materialized += cursor.fetchone()[0]
-            start = time.perf_counter()
-            cursor.execute(plan.statements[-1])
-            columns = tuple(description[0] for description in cursor.description)
-            rows = normalize_rows(cursor.fetchall())
-            elapsed += time.perf_counter() - start
+            with obs.span("sql-statement", target="<result>"):
+                start = time.perf_counter()
+                cursor.execute(plan.statements[-1])
+                columns = tuple(description[0] for description in cursor.description)
+                rows = normalize_rows(cursor.fetchall())
+                elapsed += time.perf_counter() - start
         except sqlite3.Error as exc:
             raise ExecutionError(f"sqlite execution failed: {exc}") from exc
         finally:

@@ -19,6 +19,16 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     ``--repeat N`` answers the query N times against the warm store (and
     prints plan-cache statistics), ``--no-cache`` disables the plan cache.
 
+``explain``
+    Print the plan summary for a query (strategy, optimizer level,
+    operator profile, the program); ``--timing`` additionally translates
+    fresh under a trace and appends the per-phase span tree.
+
+``stats``
+    Run a small query workload through the service and dump the
+    process-wide metrics registry (cache counters, histograms) as one
+    JSON document on stdout — the machine-readable observability surface.
+
 ``bench-service``
     Run the service throughput benchmark (cold vs warm-cache answering,
     batch vs per-query, serial vs threaded) and optionally write the
@@ -77,6 +87,9 @@ Examples
     python -m repro answer cross "a//d" --elements 2000 --seed 7
     python -m repro answer cross "a//d" --backend sqlite
     python -m repro answer cross "a//d" --repeat 50
+    python -m repro answer cross "a//d" --trace
+    python -m repro explain dept "dept//project" --timing
+    python -m repro stats dept "dept//project" --repeat 10
     python -m repro bench-service --quick --out BENCH_3.json
     python -m repro experiment exp5
     python -m repro experiment exp3 --quick --backend sqlite
@@ -91,10 +104,11 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import List, Optional
 
+from repro import obs
 from repro.api.config import EngineConfig, dialect_names, strategy_names
 from repro.backends import backend_names
 from repro.core.optimize import OPTIMIZE_LEVELS
@@ -226,6 +240,42 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument(
         "--no-cache", action="store_true",
         help="disable the translation-plan cache (every repeat re-translates)",
+    )
+    answer.add_argument(
+        "--trace", action="store_true",
+        help="record a span tree of the (cold) answer and print it after the matches",
+    )
+    answer.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="additionally write the trace as JSON to PATH (implies --trace)",
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="print the plan summary for a query (optionally with phase timings)",
+        parents=[_engine_flags(strategy=True, backend=True, dialect=True, optimize=True, push_selections=True)],
+    )
+    explain.add_argument("dtd", help="paper DTD name or file path")
+    explain.add_argument("query", help="XPath query to explain")
+    explain.add_argument(
+        "--timing", action="store_true",
+        help="translate fresh under a trace and append the per-phase span tree",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a query workload and dump the metrics registry as JSON",
+        parents=[_engine_flags(strategy=True, backend=True, optimize=True)],
+    )
+    stats.add_argument("dtd", help="paper DTD name or file path")
+    stats.add_argument("query", help="XPath query to answer")
+    stats.add_argument("--elements", type=int, default=500, help="approximate document size")
+    stats.add_argument("--seed", type=int, default=0, help="generator seed")
+    stats.add_argument("--x-l", type=int, default=8, help="maximum levels (X_L)")
+    stats.add_argument("--x-r", type=int, default=4, help="maximum repetition (X_R)")
+    stats.add_argument(
+        "--repeat", type=int, default=5,
+        help="answer the query this many times before the dump (default: 5)",
     )
 
     experiment = commands.add_parser(
@@ -404,15 +454,24 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     config = engine_config_from_args(args)
     if args.no_cache:
         config = config.with_(plan_cache_size=0, result_cache_size=0)
+    tracing = args.trace or args.trace_out is not None
+    trace_root = None
     with QueryService(dtd, config=config) as service:
         store = service.register_document("doc", document)
-        executed = service.execute(args.query)
+        if tracing:
+            obs.start_trace("answer", query=args.query, dtd=dtd.name)
+            try:
+                executed = service.execute(args.query)
+            finally:
+                trace_root = obs.end_trace()
+        else:
+            executed = service.execute(args.query)
         matches = store.shredded.nodes_for_ids(executed.node_ids())
         if args.repeat > 1:
-            start = time.perf_counter()
-            for _ in range(args.repeat - 1):
-                service.execute(args.query)
-            elapsed = time.perf_counter() - start
+            with obs.Timer() as warm_timer:
+                for _ in range(args.repeat - 1):
+                    service.execute(args.query)
+            elapsed = warm_timer.seconds
         plans = service.cache_info()
         results = service.result_cache_info()
     print(
@@ -437,6 +496,73 @@ def _cmd_answer(args: argparse.Namespace) -> int:
         print(f"  node {node.node_id}: {path}{value}")
     if len(matches) > args.limit:
         print(f"  ... and {len(matches) - args.limit} more")
+    if trace_root is not None:
+        if args.trace:
+            print("-- trace (cold answer) --")
+            print(obs.render_span_tree(trace_root))
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(trace_root.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.api import Engine
+
+    dtd = _load_dtd(args.dtd)
+    engine = Engine(dtd, engine_config_from_args(args))
+    print(engine.explain(args.query, timing=args.timing))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a small workload and dump the metrics registry.
+
+    Stdout is exactly one JSON document (CI parses it), carrying the
+    registry snapshot plus the workload parameters it was gathered under.
+    """
+    from repro.service import QueryService
+
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
+    dtd = _load_dtd(args.dtd)
+    document = generate_document(
+        dtd, x_l=args.x_l, x_r=args.x_r, seed=args.seed, max_elements=args.elements
+    )
+    config = engine_config_from_args(args)
+    with QueryService(dtd, config=config) as service:
+        service.register_document("doc", document)
+        for _ in range(args.repeat):
+            service.execute(args.query)
+        plans = service.cache_info()
+        results = service.result_cache_info()
+    payload = {
+        "workload": {
+            "dtd": dtd.name,
+            "query": args.query,
+            "elements": document.size(),
+            "repeat": args.repeat,
+            "backend": config.backend,
+        },
+        "plan_cache": {
+            "hits": plans.hits,
+            "misses": plans.misses,
+            "evictions": plans.evictions,
+            "size": plans.size,
+            "capacity": plans.capacity,
+        },
+        "result_cache": {
+            "hits": results.hits,
+            "misses": results.misses,
+            "evictions": results.evictions,
+            "size": results.size,
+            "capacity": results.capacity,
+        },
+        "metrics": obs.registry().snapshot(),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -646,6 +772,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "describe": _cmd_describe,
         "translate": _cmd_translate,
         "answer": _cmd_answer,
+        "explain": _cmd_explain,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
         "diff": _cmd_diff,
         "generate": _cmd_generate,

@@ -27,6 +27,11 @@ exactly the same scenarios:
 
 Every scenario cross-checks results between levels and backends — a
 benchmark that got faster by being wrong must fail loudly.
+
+Each level's stats additionally carry a ``phases`` breakdown: one traced
+translate+execute pass (outside the timed repeats) aggregated per span
+name via :func:`repro.obs.aggregate_spans`, so the report shows where the
+per-level time goes (translate, individual optimizer passes, execute).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.backends import create_backend
 from repro.core.optimize import OPTIMIZE_LEVELS, select_strategy
 from repro.core.pipeline import XPathToSQLTranslator
@@ -170,12 +176,25 @@ def _measure_level(
         finally:
             backend.close()
 
+    # One traced pass *outside* the timed repeats: translate each query
+    # fresh (bypassing the warm plan cache) and execute it once on the
+    # memory engine; the aggregated span tree is this level's per-phase
+    # breakdown (translate, optimize passes, prepare, execute).
+    with obs.trace(f"optbench-O{level}") as trace_root:
+        backend = create_backend("memory", shredded.database)
+        try:
+            for query in queries.values():
+                backend.execute(translator.translate_uncached(query).program)
+        finally:
+            backend.close()
+
     stats = {
         "translation_seconds": translation_seconds,
         "execution_seconds": execution,
         "total_seconds": translation_seconds + sum(execution.values()),
         "assignments": assignments,
         "operators": operators,
+        "phases": obs.aggregate_spans(trace_root),
     }
     return stats, results
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union as TUnion
 
+from repro import obs
 from repro.core.expath_to_sql import IMPOSSIBLE_F, TranslationOptions
 from repro.core.xpath_to_expath import VIRTUAL_ROOT, DescendantStrategy
 from repro.dtd.graph import DTDGraph
@@ -742,9 +743,24 @@ class ProgramOptimizer:
         if self._level <= 0:
             return program
         if self._level >= 2 and self._dtd is not None and self._mapping is not None:
-            program = prune_unreachable(program, self._dtd, self._mapping)
-        program = simplify_program(program)
-        return eliminate_common_subexpressions(program)
+            program = self._pass("prune-unreachable", program, lambda p: (
+                prune_unreachable(p, self._dtd, self._mapping)
+            ))
+        program = self._pass("simplify", program, simplify_program)
+        return self._pass("cse", program, eliminate_common_subexpressions)
+
+    @staticmethod
+    def _pass(name, program, transform):
+        # Operator-count deltas are computed only when a trace is active:
+        # operator_profile() walks the whole program and must stay off the
+        # un-traced hot path.
+        with obs.span(f"optimize-pass:{name}") as sp:
+            if sp:
+                sp.set(operators_before=program.operator_profile().total)
+            program = transform(program)
+            if sp:
+                sp.set(operators_after=program.operator_profile().total)
+        return program
 
 
 def optimize_program(

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Union as TUnion
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.core.expath_to_sql import ExtendedToSQL, TranslationOptions
 from repro.core.optimize import (
     DEFAULT_OPTIMIZE_LEVEL,
@@ -307,16 +308,41 @@ class XPathToSQLTranslator:
         path = self._parse(query)
         if self._plan_cache is None:
             return self._translate_fresh(path)
-        return self._plan_cache.get_or_create(
-            self.plan_key(path), lambda: self._translate_fresh(path)
-        )
+        missed = []
+        with obs.span("plan-cache", cache=self._plan_cache.name) as sp:
+            result = self._plan_cache.get_or_create(
+                self.plan_key(path),
+                lambda: missed.append(True) or self._translate_fresh(path),
+            )
+            sp.set(hit=not missed)
+        return result
+
+    def translate_uncached(self, query: QueryLike) -> TranslationResult:
+        """Translate bypassing the plan cache.
+
+        The diagnostic path behind ``explain --timing``: phase spans only
+        exist on a fresh translation, so timing modes must not be answered
+        from the cache.  The result is *not* inserted into the cache (the
+        cached entry, if any, stays authoritative).
+        """
+        return self._translate_fresh(self._parse(query))
 
     def _translate_fresh(self, path: Path) -> TranslationResult:
         start = time.perf_counter()
-        strategy = self.resolve_strategy(path)
-        extended = self._front_end_for(strategy).translate(path)
-        program = self._back_end.translate(extended)
-        program = self._optimizer.run(program)
+        with obs.span("translate", query=str(path)) as translate_sp:
+            with obs.span("resolve-strategy"):
+                strategy = self.resolve_strategy(path)
+            translate_sp.set(strategy=strategy.value)
+            with obs.span("xpath-to-extended"):
+                extended = self._front_end_for(strategy).translate(path)
+            with obs.span("lower") as sp:
+                program = self._back_end.translate(extended)
+                if sp:
+                    sp.set(operators=program.operator_profile().total)
+            with obs.span("optimize", level=self._optimize_level) as sp:
+                program = self._optimizer.run(program)
+                if sp:
+                    sp.set(operators=program.operator_profile().total)
         elapsed = time.perf_counter() - start
         return TranslationResult(
             xpath=path,

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.dtd.model import DTD
@@ -163,9 +164,14 @@ class PlanCache:
     translation can take milliseconds and must not serialize unrelated
     lookups — so two racing threads may both translate the same query; both
     results are equivalent and the second simply wins the ``put``.
+
+    ``name`` labels the cache in the process-wide metrics registry: every
+    hit/miss/eviction also increments ``cache.<name>.hits`` etc., so
+    ``repro stats`` sees all caches of a kind aggregated together while
+    :meth:`cache_info` stays per-instance.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(self, capacity: int = 128, name: str = "plan") -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self._capacity = capacity
@@ -174,6 +180,11 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self.name = name
+        registry = obs.registry()
+        self._hit_counter = registry.counter(f"cache.{name}.hits")
+        self._miss_counter = registry.counter(f"cache.{name}.misses")
+        self._eviction_counter = registry.counter(f"cache.{name}.evictions")
 
     @property
     def capacity(self) -> int:
@@ -194,12 +205,19 @@ class PlanCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return self._entries[key]
-            self._misses += 1
-            return None
+                value = self._entries[key]
+            else:
+                self._misses += 1
+                value = None
+        if value is not None:
+            self._hit_counter.inc()
+        else:
+            self._miss_counter.inc()
+        return value
 
     def put(self, key: PlanKey, value: Any) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry at capacity."""
+        evicted = 0
         with self._lock:
             if self._capacity == 0:
                 return
@@ -209,6 +227,9 @@ class PlanCache:
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted:
+            self._eviction_counter.inc(evicted)
 
     def get_or_create(self, key: PlanKey, factory: Callable[[], Any]) -> Any:
         """The cached plan for ``key``, creating it via ``factory`` on a miss."""

@@ -14,10 +14,10 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.api.config import EngineConfig, resolve_engine_config
 from repro.backends import Backend, backend_names, create_backend
 from repro.core.expath_to_sql import TranslationOptions
@@ -154,9 +154,9 @@ def measure_query(
     (mirroring how the paper reports warm-database query times).
     """
     translator = translator or approach.translator(dtd)
-    start = time.perf_counter()
-    result = translator.translate(query)
-    translation_seconds = time.perf_counter() - start
+    with obs.Timer() as translation_timer:
+        result = translator.translate(query)
+    translation_seconds = translation_timer.seconds
 
     owned = engine is None
     if engine is None:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path as FilePath
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
@@ -125,9 +125,26 @@ class FuzzCase:
         """Parse a case from JSON text."""
         return cls.from_dict(json.loads(text))
 
-    def save(self, path: Union[str, FilePath]) -> None:
-        """Write the case to ``path`` as JSON."""
-        FilePath(path).write_text(self.to_json(), encoding="utf-8")
+    def save(
+        self,
+        path: Union[str, FilePath],
+        extra: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Write the case to ``path`` as JSON.
+
+        ``extra`` merges additional (JSON-safe) top-level keys into the
+        file — diagnostic metadata like per-engine timing.  Replay ignores
+        unknown top-level keys, so extras never affect reproduction; keys
+        that would shadow the case fields themselves are rejected.
+        """
+        record = self.to_dict()
+        if extra:
+            clashes = sorted(set(extra) & set(record))
+            if clashes:
+                raise ValueError(f"extra key(s) {clashes} would shadow case fields")
+            record.update(extra)
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        FilePath(path).write_text(text, encoding="utf-8")
 
     @classmethod
     def load(cls, path: Union[str, FilePath]) -> "FuzzCase":

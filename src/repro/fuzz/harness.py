@@ -13,11 +13,11 @@ oracle.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path as FilePath
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.fuzz.cases import DocumentSpec, FuzzCase
 from repro.fuzz.dtd_gen import DTDGenConfig, RandomDTDGenerator
 from repro.fuzz.oracle import CaseOutcome, DifferentialOracle, EngineSpec
@@ -76,6 +76,9 @@ class FuzzReport:
     engines: List[str]
     failures: List[FuzzFailure] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    # Total wall seconds each engine spent across every case of the sweep —
+    # the slow-engine visibility the corpus replays lacked.
+    engine_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -83,14 +86,27 @@ class FuzzReport:
         return not self.failures
 
     def describe(self) -> str:
-        """Multi-line summary (deterministic apart from the timing line)."""
+        """Multi-line summary (deterministic apart from the final timing line).
+
+        Everything timing-dependent stays on the *last* line: seed-
+        reproducibility checks compare all lines but the final one.
+        """
         lines = [
             f"fuzz: seed={self.seed} cases={self.cases_run} "
             f"engines={len(self.engines)} disagreements={len(self.failures)}"
         ]
         for failure in self.failures:
             lines.append(failure.describe())
-        lines.append(f"elapsed: {self.elapsed_seconds:.2f}s")
+        slowest = ", ".join(
+            f"{name}={seconds:.2f}s"
+            for name, seconds in sorted(
+                self.engine_seconds.items(), key=lambda item: -item[1]
+            )[:3]
+        )
+        timing = f"elapsed: {self.elapsed_seconds:.2f}s"
+        if slowest:
+            timing += f" (slowest engines: {slowest})"
+        lines.append(timing)
         return "\n".join(lines)
 
 
@@ -126,7 +142,22 @@ def run_fuzz(
         cases_run=0,
         engines=[engine.name for engine in oracle.engines],
     )
-    start = time.perf_counter()
+    sweep_timer = obs.Timer()
+    with sweep_timer:
+        _fuzz_loop(config, oracle, rng, corpus_dir, report, on_case)
+    report.elapsed_seconds = sweep_timer.seconds
+    return report
+
+
+def _fuzz_loop(
+    config: FuzzConfig,
+    oracle: DifferentialOracle,
+    rng: random.Random,
+    corpus_dir: Optional[FilePath],
+    report: FuzzReport,
+    on_case: Optional[Callable[[CaseOutcome], None]],
+) -> None:
+    """The generate/run/shrink/save loop of :func:`run_fuzz` (timed by it)."""
     while report.cases_run < config.budget:
         dtd_config = DTDGenConfig(
             seed=rng.randrange(_SEED_SPACE),
@@ -149,6 +180,10 @@ def run_fuzz(
             )
             outcome = oracle.run(case)
             report.cases_run += 1
+            for engine_name, seconds in outcome.engine_seconds.items():
+                report.engine_seconds[engine_name] = (
+                    report.engine_seconds.get(engine_name, 0.0) + seconds
+                )
             if on_case is not None:
                 on_case(outcome)
             if outcome.ok:
@@ -167,15 +202,25 @@ def run_fuzz(
                     final_outcome = oracle.run(shrunk)
             failure = FuzzFailure(original=case, shrunk=shrunk, outcome=final_outcome)
             if corpus_dir is not None:
-                for suffix, saved_case in (("", case), ("-shrunk", shrunk)):
+                for suffix, saved_case, saved_outcome in (
+                    ("", case, outcome),
+                    ("-shrunk", shrunk, final_outcome),
+                ):
                     if suffix and saved_case is case:
                         continue
                     path = corpus_dir / f"{case.label}{suffix}.json"
-                    saved_case.save(path)
+                    saved_case.save(
+                        path,
+                        extra={
+                            "timing": {
+                                "engine_seconds": dict(
+                                    sorted(saved_outcome.engine_seconds.items())
+                                )
+                            }
+                        },
+                    )
                     failure.saved_paths.append(str(path))
             report.failures.append(failure)
-    report.elapsed_seconds = time.perf_counter() - start
-    return report
 
 
 def replay_corpus(

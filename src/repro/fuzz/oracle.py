@@ -24,6 +24,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.api.config import EngineConfig
 from repro.backends import create_backend
 from repro.core.expath_to_sql import TranslationOptions
@@ -215,6 +216,9 @@ class CaseOutcome:
     engine_results: Dict[str, FrozenSet[int]] = field(default_factory=dict)
     disagreements: List[EngineDisagreement] = field(default_factory=list)
     setup_error: Optional[str] = None
+    # Wall seconds each engine spent on this case (translate — paid by the
+    # first engine of a shared translation signature — plus execute).
+    engine_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -274,23 +278,26 @@ class DifferentialOracle:
         programs: Dict[Tuple[object, ...], object] = {}
         try:
             for engine in self._engines:
+                timer = obs.Timer()
                 try:
-                    backend = backends.get(engine.backend)
-                    if backend is None:
-                        backend = create_backend(engine.backend, shredded.database)
-                        backends[engine.backend] = backend
-                    program_key = engine.config.translation_signature()
-                    program = programs.get(program_key)
-                    if program is None:
-                        translator = XPathToSQLTranslator(dtd, config=engine.config)
-                        program = translator.translate(query).program
-                        programs[program_key] = program
-                    result = backend.execute(program)  # type: ignore[attr-defined]
-                    actual = frozenset(
-                        node.node_id
-                        for node in shredded.nodes_for_ids(result.node_ids())
-                    )
+                    with timer:
+                        backend = backends.get(engine.backend)
+                        if backend is None:
+                            backend = create_backend(engine.backend, shredded.database)
+                            backends[engine.backend] = backend
+                        program_key = engine.config.translation_signature()
+                        program = programs.get(program_key)
+                        if program is None:
+                            translator = XPathToSQLTranslator(dtd, config=engine.config)
+                            program = translator.translate(query).program
+                            programs[program_key] = program
+                        result = backend.execute(program)  # type: ignore[attr-defined]
+                        actual = frozenset(
+                            node.node_id
+                            for node in shredded.nodes_for_ids(result.node_ids())
+                        )
                 except Exception:
+                    outcome.engine_seconds[engine.name] = timer.seconds
                     outcome.disagreements.append(
                         EngineDisagreement(
                             engine=engine.name,
@@ -298,6 +305,7 @@ class DifferentialOracle:
                         )
                     )
                     continue
+                outcome.engine_seconds[engine.name] = timer.seconds
                 outcome.engine_results[engine.name] = actual
                 if actual != outcome.expected:
                     outcome.disagreements.append(

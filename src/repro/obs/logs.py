@@ -1,0 +1,89 @@
+"""Structured JSON-lines log emission.
+
+One event per line, each a self-contained JSON object with at least
+``event`` (the event name) and ``ts`` (seconds since the epoch).  The
+sink is process-wide and off by default — :func:`configure` points it at
+any ``write()``-able stream (or a path), :func:`emit` then appends
+events, and disabling restores the zero-cost path (one global read per
+``emit`` call).
+
+Values that are not JSON-representable are stringified rather than
+raised on: a log line must never take down the query path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Any, Dict, IO, Optional, Union
+
+from .trace import Span
+
+__all__ = ["configure", "disable", "emit", "emit_span", "is_enabled"]
+
+_LOCK = threading.Lock()
+_SINK: Optional[IO[str]] = None
+_OWNED = False  # whether configure() opened the sink (and close() should close it)
+
+
+def configure(sink: Union[str, IO[str]]) -> None:
+    """Direct log emission at ``sink`` — a writable text stream or a file path.
+
+    A path is opened in append mode and closed again by :func:`disable`;
+    a stream stays caller-owned.  Reconfiguring first disables the
+    previous sink.
+    """
+    global _SINK, _OWNED
+    with _LOCK:
+        _close_locked()
+        if isinstance(sink, str):
+            _SINK = io.open(sink, "a", encoding="utf-8")
+            _OWNED = True
+        else:
+            _SINK = sink
+            _OWNED = False
+
+
+def disable() -> None:
+    """Stop emitting; close the sink if :func:`configure` opened it."""
+    with _LOCK:
+        _close_locked()
+
+
+def _close_locked() -> None:
+    global _SINK, _OWNED
+    if _SINK is not None and _OWNED:
+        try:
+            _SINK.close()
+        except OSError:  # pragma: no cover - close failure is not actionable
+            pass
+    _SINK = None
+    _OWNED = False
+
+
+def is_enabled() -> bool:
+    """True when a sink is configured."""
+    return _SINK is not None
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Append one JSON event line (silently a no-op when no sink is set)."""
+    if _SINK is None:
+        return
+    record: Dict[str, Any] = {"event": event, "ts": time.time()}
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True, default=str)
+    with _LOCK:
+        if _SINK is None:  # disabled between the check and the lock
+            return
+        _SINK.write(line + "\n")
+        _SINK.flush()
+
+
+def emit_span(root: Span, **fields: Any) -> None:
+    """Emit a finished trace as one ``trace`` event carrying the span tree."""
+    if _SINK is None:
+        return
+    emit("trace", span=root.to_dict(), **fields)

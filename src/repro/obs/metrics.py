@@ -1,0 +1,305 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Instruments are created on first use (``registry().counter("x").inc()``)
+and live for the process lifetime; every instrument is thread-safe behind
+its own lock, and the registry itself only locks around the instrument
+dictionary.  :meth:`MetricsRegistry.snapshot` renders everything as one
+JSON-safe dict — the payload of ``repro stats`` and the structured-log
+emitter.
+
+Disabling a registry (:meth:`MetricsRegistry.disable`) turns every
+``inc``/``set``/``observe`` into an attribute read plus a branch, so
+permanently-instrumented hot paths cost nothing measurable when metrics
+are off; the overhead benchmark pins this together with the tracing no-op
+path.
+
+Histograms keep a bounded reservoir (the most recent ``reservoir_size``
+observations) plus exact count/sum/min/max, and report p50/p95/p99 over
+the reservoir — enough fidelity for per-query latency distributions
+without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count (cache hits, queries answered, ...)."""
+
+    __slots__ = ("name", "_value", "_lock", "_registry")
+
+    def __init__(self, name: str, owner: "MetricsRegistry") -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+        self._registry = owner
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (no-op while the owning registry is disabled)."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (registered documents, cache occupancy, ...)."""
+
+    __slots__ = ("name", "_value", "_lock", "_registry")
+
+    def __init__(self, name: str, owner: "MetricsRegistry") -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._registry = owner
+
+    def set(self, value: float) -> None:
+        """Record the current value (no-op while the registry is disabled)."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        """Adjust the value by ``amount`` (gauges may go down)."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The last recorded value."""
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution with exact count/sum and reservoir percentiles.
+
+    The reservoir keeps the most recent ``reservoir_size`` observations —
+    a sliding window, which is what a serving layer wants (old latencies
+    age out) and keeps memory bounded for unbounded query streams.
+    """
+
+    __slots__ = (
+        "name",
+        "_samples",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_capacity",
+        "_next",
+        "_lock",
+        "_registry",
+    )
+
+    def __init__(
+        self, name: str, owner: "MetricsRegistry", reservoir_size: int = 1024
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.name = name
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._capacity = reservoir_size
+        self._next = 0
+        self._lock = threading.Lock()
+        self._registry = owner
+
+    def observe(self, value: float) -> None:
+        """Record one observation (no-op while the registry is disabled)."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._samples) < self._capacity:
+                self._samples.append(value)
+            else:  # ring buffer: overwrite the oldest sample
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self._capacity
+
+    @property
+    def count(self) -> int:
+        """Total number of observations (not just the retained window)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        with self._lock:
+            return self._sum
+
+    @staticmethod
+    def _percentile(ordered: Sequence[float], fraction: float) -> float:
+        # Nearest-rank on the sorted window; ordered is non-empty here.
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The ``fraction`` quantile over the retained window (``None`` if empty)."""
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        return self._percentile(ordered, fraction)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._samples = []
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+            self._next = 0
+
+    def _snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        snapshot: Dict[str, object] = {
+            "type": "histogram",
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "mean": (total / count) if count else None,
+        }
+        for label, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            snapshot[label] = self._percentile(ordered, fraction) if ordered else None
+        return snapshot
+
+
+class MetricsRegistry:
+    """A named collection of instruments, shared process-wide by default.
+
+    ``counter``/``gauge``/``histogram`` create on first use and always
+    return the same instrument for a name; a name is permanently bound to
+    its first instrument kind (asking for the same name as a different
+    kind raises, catching wiring typos early).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def enable(self) -> None:
+        """Turn recording on (the default)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn every instrument into a no-op until re-enabled."""
+        self.enabled = False
+
+    def _instrument(self, name: str, kind: type, **kwargs: object):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                existing = self._instruments[name] = kind(name, self, **kwargs)
+            elif not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return existing
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._instrument(name, Gauge)
+
+    def histogram(self, name: str, reservoir_size: int = 1024) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._instrument(name, Histogram, reservoir_size=reservoir_size)
+
+    def names(self) -> List[str]:
+        """All instrument names, sorted."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every instrument rendered as a JSON-safe dict, keyed by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instrument._snapshot()  # type: ignore[attr-defined]
+            for name, instrument in sorted(instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (they stay registered)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument._reset()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(instruments={len(self._instruments)}, "
+            f"enabled={self.enabled})"
+        )
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every instrumentation point records into."""
+    return _REGISTRY
+
+
+def set_registry(replacement: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests isolate themselves with this).
+
+    Returns the previous registry so callers can restore it.  Note that
+    instrumentation sites may cache instrument objects from the old
+    registry; swapping is for test isolation, not live reconfiguration.
+    """
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = replacement
+    return previous

@@ -28,6 +28,12 @@ measure exactly the same scenarios:
 Every scenario cross-checks that the fast path returned exactly the slow
 path's nodes (``results_match``) — a benchmark that got faster by being
 wrong must fail loudly.
+
+``repeated_workload`` additionally carries a ``phases`` breakdown: one
+traced pass (cold then warm, outside the timed loops) aggregated per span
+name via :func:`repro.obs.aggregate_spans`, so the report says not just
+*how fast* but *where the time goes* (translate, optimize passes, prepare,
+execute, cache lookups).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.pipeline import answer_xpath
 from repro.dtd import samples
 from repro.dtd.model import DTD
@@ -169,6 +176,18 @@ def _bench_repeated_workload(config: ServiceBenchConfig) -> Dict[str, object]:
         plans = service.cache_info()
         results = service.result_cache_info()
 
+    # One traced pass *outside* the timed loops: a fresh service answers each
+    # distinct query cold (plan-cache miss -> translate -> optimize ->
+    # prepare -> execute) and then once more warm (result-cache hit); the
+    # aggregated span tree is the report's per-phase breakdown.
+    with QueryService(dtd, cache_capacity=config.cache_capacity) as service:
+        service.register_document("doc", tree)
+        with obs.trace("bench-repeated-workload") as trace_root:
+            for _ in range(2):
+                for query in queries.values():
+                    service.answer(query)
+    phases = obs.aggregate_spans(trace_root)
+
     return {
         "document_elements": tree.size(),
         "distinct_queries": len(queries),
@@ -187,6 +206,7 @@ def _bench_repeated_workload(config: ServiceBenchConfig) -> Dict[str, object]:
         "plan_cache_misses": plans.misses,
         "result_cache_hits": results.hits,
         "result_cache_misses": results.misses,
+        "phases": phases,
         "results_match": cold_results == warm_results
         and cold_results == plan_cached_results,
     }

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.api.config import EngineConfig, resolve_engine_config
 from repro.backends import create_backend
 from repro.backends.base import Backend, BackendResult, PreparedProgram
@@ -81,8 +82,8 @@ class DocumentStore:
         self.document_id = document_id
         self.shredded = shredded
         self.backend = backend
-        self._prepared = PlanCache(prepared_capacity)
-        self._results = PlanCache(result_capacity)
+        self._prepared = PlanCache(prepared_capacity, name="prepared")
+        self._results = PlanCache(result_capacity, name="result")
 
     @property
     def tree(self) -> XMLTree:
@@ -384,17 +385,27 @@ class QueryService:
         The query is parsed exactly once; on the fully warm path the call
         is one key computation plus one result-cache lookup.
         """
-        parsed = parse_xpath(query) if isinstance(query, str) else query
-        key = (
-            self._translator.plan_key(parsed) if self._plan_cache is not None else None
-        )
-        cached = store.cached_result(key)
-        if cached is not None:
-            return cached
-        prepared = store.prepared_program(key, self.plan(parsed))
-        result = store.backend.execute_prepared(prepared)
-        store.store_result(key, result)
-        return result
+        obs.registry().counter("service.queries").inc()
+        with obs.span(
+            "answer", document=store.document_id, backend=store.backend.name
+        ) as answer_sp:
+            parsed = parse_xpath(query) if isinstance(query, str) else query
+            if answer_sp:
+                answer_sp.set(query=str(parsed))
+            key = (
+                self._translator.plan_key(parsed)
+                if self._plan_cache is not None
+                else None
+            )
+            cached = store.cached_result(key)
+            if cached is not None:
+                answer_sp.set(result_cache_hit=True)
+                return cached
+            answer_sp.set(result_cache_hit=False)
+            prepared = store.prepared_program(key, self.plan(parsed))
+            result = store.backend.execute_prepared(prepared)
+            store.store_result(key, result)
+            return result
 
     def answer(
         self, query: QueryLike, document_id: Optional[str] = None
@@ -427,8 +438,18 @@ class QueryService:
 
         if threads == 1 or len(queries) <= 1:
             return [one(query) for query in queries]
-        with ThreadPoolExecutor(max_workers=threads) as pool:
-            return list(pool.map(one, queries))
+        with obs.span("batch", queries=len(queries), threads=threads):
+            # Pool workers have no thread-local trace of their own; they
+            # adopt the dispatching thread's batch span so their work lands
+            # under its tree (child appends are GIL-atomic).
+            parent = obs.current_span()
+
+            def traced(query: QueryLike) -> List[XMLNode]:
+                with obs.attach(parent):
+                    return one(query)
+
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                return list(pool.map(traced, queries))
 
     # -- lifecycle ---------------------------------------------------------------
 

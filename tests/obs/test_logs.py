@@ -1,0 +1,84 @@
+"""Structured JSON-lines logs: sinks, event shape, the off-by-default path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _logs_off_afterwards():
+    yield
+    obs.disable_logs()
+
+
+def _lines(buffer: io.StringIO):
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_off_by_default_and_emit_is_a_no_op(self):
+        assert not obs.logs_enabled()
+        obs.emit("ignored", detail=1)  # must not raise
+
+    def test_emit_writes_one_json_object_per_line(self):
+        buffer = io.StringIO()
+        obs.configure_logs(buffer)
+        assert obs.logs_enabled()
+        obs.emit("query", document="doc", rows=3)
+        obs.emit("query", document="doc", rows=5)
+        records = _lines(buffer)
+        assert len(records) == 2
+        assert records[0]["event"] == "query"
+        assert records[0]["rows"] == 3
+        assert isinstance(records[0]["ts"], float)
+
+    def test_non_json_values_are_stringified_not_raised(self):
+        buffer = io.StringIO()
+        obs.configure_logs(buffer)
+        obs.emit("odd", payload={1, 2})  # a set is not JSON-representable
+        (record,) = _lines(buffer)
+        assert isinstance(record["payload"], str)
+
+    def test_disable_stops_emission(self):
+        buffer = io.StringIO()
+        obs.configure_logs(buffer)
+        obs.disable_logs()
+        assert not obs.logs_enabled()
+        obs.emit("after", x=1)
+        assert buffer.getvalue() == ""
+
+    def test_path_sink_appends_and_is_closed_on_disable(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.configure_logs(str(path))
+        obs.emit("first")
+        obs.disable_logs()
+        obs.configure_logs(str(path))  # append mode: the first line survives
+        obs.emit("second")
+        obs.disable_logs()
+        events = [json.loads(line)["event"] for line in path.read_text().splitlines()]
+        assert events == ["first", "second"]
+
+
+class TestEmitSpan:
+    def test_finished_trace_travels_as_one_trace_event(self):
+        buffer = io.StringIO()
+        obs.configure_logs(buffer)
+        with obs.trace("root") as root:
+            with obs.span("child"):
+                pass
+        obs.emit_span(root, query="a//b")
+        (record,) = _lines(buffer)
+        assert record["event"] == "trace"
+        assert record["query"] == "a//b"
+        rebuilt = obs.Span.from_dict(record["span"])
+        assert rebuilt.children[0].name == "child"
+
+    def test_emit_span_without_sink_is_a_no_op(self):
+        with obs.trace("root") as root:
+            pass
+        obs.emit_span(root)  # must not raise

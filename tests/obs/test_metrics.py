@@ -1,0 +1,149 @@
+"""The metrics registry: instruments, thread-safety, disable, snapshots."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstrumentCreation:
+    def test_created_on_first_use_and_then_shared(self, registry):
+        counter = registry.counter("hits")
+        assert counter is registry.counter("hits")
+        assert registry.names() == ["hits"]
+
+    def test_name_is_bound_to_its_first_kind(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError, match="Counter"):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_concurrent_increments_are_not_lost(self, registry):
+        counter = registry.counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self, registry):
+        histogram = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        snap = histogram._snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 10.0
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert snap["mean"] == 2.5
+
+    def test_percentiles_over_the_window(self, registry):
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == pytest.approx(50.0, abs=1.0)
+        assert histogram.percentile(0.95) == pytest.approx(95.0, abs=1.0)
+        assert histogram.percentile(0.99) == pytest.approx(99.0, abs=1.0)
+
+    def test_reservoir_is_a_sliding_window_but_totals_stay_exact(self, registry):
+        histogram = registry.histogram("h", reservoir_size=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        assert histogram.count == 10  # exact, beyond the window
+        assert histogram.sum == sum(range(10))
+        # Only recent samples remain: the window p50 sits in the upper range.
+        assert histogram.percentile(0.50) >= 5.0
+
+    def test_empty_histogram_percentile_is_none(self, registry):
+        assert registry.histogram("h").percentile(0.5) is None
+
+    def test_rejects_nonpositive_reservoir(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", reservoir_size=0)
+
+
+class TestDisable:
+    def test_disabled_registry_records_nothing(self, registry):
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h")
+        registry.disable()
+        counter.inc()
+        gauge.set(5.0)
+        histogram.observe(1.0)
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert histogram.count == 0
+        registry.enable()
+        counter.inc()
+        assert counter.value == 1
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_json_safe_and_typed(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["c"] == {"type": "counter", "value": 2}
+        assert snapshot["g"] == {"type": "gauge", "value": 1.5}
+        assert snapshot["h"]["type"] == "histogram"
+        assert snapshot["h"]["count"] == 1
+        assert snapshot["h"]["p50"] == 0.25
+
+    def test_reset_zeroes_but_keeps_instruments(self, registry):
+        counter = registry.counter("c")
+        counter.inc(7)
+        registry.reset()
+        assert registry.names() == ["c"]
+        assert counter.value == 0
+
+
+class TestProcessWideRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        replacement = MetricsRegistry()
+        previous = obs.set_registry(replacement)
+        try:
+            assert obs.registry() is replacement
+        finally:
+            obs.set_registry(previous)
+        assert obs.registry() is previous
+
+    def test_facade_reexports_instrument_types(self):
+        assert obs.Counter is Counter
+        assert obs.Gauge is Gauge
+        assert obs.Histogram is Histogram

@@ -1,0 +1,47 @@
+"""The shared ``obs.Timer`` elapsed-time block."""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestTimer:
+    def test_seconds_frozen_after_exit(self):
+        with obs.Timer() as timer:
+            time.sleep(0.01)
+        frozen = timer.seconds
+        assert frozen >= 0.01
+        time.sleep(0.01)
+        assert timer.seconds == frozen
+
+    def test_seconds_reads_live_while_open(self):
+        timer = obs.Timer()
+        with timer:
+            first = timer.seconds
+            time.sleep(0.005)
+            second = timer.seconds
+            assert second > first >= 0.0
+
+    def test_reentering_restarts_the_clock(self):
+        timer = obs.Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.seconds
+        with timer:
+            pass
+        assert timer.seconds < first
+
+    def test_metric_records_into_a_registry_histogram(self):
+        replacement = MetricsRegistry()
+        previous = obs.set_registry(replacement)
+        try:
+            with obs.Timer(metric="unit.block_seconds"):
+                pass
+            histogram = replacement.histogram("unit.block_seconds")
+            assert histogram.count == 1
+            assert histogram.sum >= 0.0
+        finally:
+            obs.set_registry(previous)

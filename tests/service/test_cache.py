@@ -115,6 +115,44 @@ class TestCounters:
         assert not errors
         assert len(cache) <= 8
 
+    def test_cache_info_consistent_under_concurrent_access(self):
+        # 8 threads, each issuing a known mix of hits and misses against a
+        # no-eviction cache: afterwards cache_info() must account for every
+        # single lookup (no lost counter updates, no double counts).
+        threads_n, lookups = 8, 500
+        cache = PlanCache(capacity=threads_n * lookups)
+        hot = _key("hot")
+        cache.put(hot, "plan")
+        barrier = threading.Barrier(threads_n)
+        errors = []
+
+        def worker(tag):
+            try:
+                barrier.wait()
+                for i in range(lookups):
+                    if i % 2:  # every odd lookup hits the shared hot entry
+                        assert cache.get(hot) == "plan"
+                    else:  # every even lookup misses a thread-unique key
+                        assert cache.get(_key(f"cold-{tag}-{i}")) is None
+                    # cache_info() snapshots mid-race must stay coherent.
+                    info = cache.cache_info()
+                    assert 0 <= info.hits <= threads_n * lookups
+                    assert 0 <= info.misses <= threads_n * lookups
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(t,)) for t in range(threads_n)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors
+        info = cache.cache_info()
+        assert info.hits == threads_n * (lookups // 2)
+        assert info.misses == threads_n * (lookups - lookups // 2)
+        assert info.evictions == 0
+        assert info.hit_rate == info.hits / (info.hits + info.misses)
+
 
 class TestFingerprints:
     def test_dtd_fingerprint_is_content_based(self):
