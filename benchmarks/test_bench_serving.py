@@ -1,0 +1,151 @@
+"""Benchmark: serving tiers — serial vs threaded vs multiprocess (BENCH_5).
+
+Runs the shared harness of :mod:`repro.service.servebench` (the same tiers
+``repro bench-serving`` measures) and writes ``BENCH_5.json`` at the repo
+root, continuing the committed BENCH_* trajectory.
+
+Asserted here (the Issue 7 acceptance bar):
+
+* every tier returned node-for-node the serial tier's answers — always, on
+  every host (a tier cannot win by being wrong);
+* rps and p50/p99 latency are recorded for serial, threaded and
+  multiprocess on both backends;
+* on hosts with >= 2 CPUs, the multiprocess tier beats both serial and
+  threaded on the memory-backend workload (the ">1x" headline).  On a
+  single-core host that ordering is physically impossible — CPython runs
+  one CPU-bound process at a time no matter how many you fork — so there
+  the assertion degrades to a sanity floor (multiprocess completes within
+  3x of serial, i.e. the IPC tax stays bounded) and the report's
+  ``cpu_count`` field documents which regime produced the numbers.
+
+The pytest-benchmark cases additionally time one representative call per
+tier so ``--benchmark-compare`` runs catch per-tier regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.dtd import samples
+from repro.service import ProcessQueryService, QueryService
+from repro.service.servebench import (
+    ServingBenchConfig,
+    run_serving_benchmark,
+    write_report,
+)
+from repro.xmltree.generator import generate_document
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+
+BENCH_CONFIG = ServingBenchConfig(elements=1000, repeats=5, threads=4)
+
+MODES = ("serial", "threaded", "multiprocess", "multiprocess_batch")
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="micro-benchmarks use the fork start method for speed",
+)
+
+
+@pytest.fixture(scope="module")
+def serving_report():
+    return run_serving_benchmark(BENCH_CONFIG)
+
+
+def test_writes_bench_5_json(serving_report):
+    write_report(serving_report, str(REPORT_PATH))
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["bench"] == "serving-tiers"
+    assert on_disk["issue"] == 7
+    assert on_disk["cpu_count"] == os.cpu_count()
+    assert set(on_disk["scenarios"]) == {"memory", "sqlite"}
+
+
+def test_every_tier_returned_exact_answers(serving_report):
+    assert serving_report["ok"] is True
+    for entry in serving_report["scenarios"].values():
+        assert entry["results_match"] is True
+
+
+def test_all_tiers_report_rps_and_latency_percentiles(serving_report):
+    for entry in serving_report["scenarios"].values():
+        for mode in MODES:
+            stats = entry[mode]
+            assert stats["calls"] == entry["calls"]
+            assert stats["seconds"] > 0 and stats["rps"] > 0
+            if mode != "multiprocess_batch":  # batch has no per-request timings
+                assert stats["p50_ms"] is not None
+                assert stats["p99_ms"] is not None
+                assert stats["p99_ms"] >= stats["p50_ms"]
+
+
+def test_multiprocess_beats_serial_and_threaded_given_cpus(serving_report):
+    entry = serving_report["scenarios"]["memory"]
+    vs_serial = entry["multiprocess_vs_serial"]
+    vs_threaded = entry["multiprocess_vs_threaded"]
+    if (os.cpu_count() or 1) >= 2:
+        assert vs_serial > 1.0, (
+            f"multiprocess only {vs_serial:.2f}x of serial on a "
+            f"{os.cpu_count()}-cpu host"
+        )
+        assert vs_threaded > 1.0, (
+            f"multiprocess only {vs_threaded:.2f}x of threaded on a "
+            f"{os.cpu_count()}-cpu host"
+        )
+    else:
+        # One CPU: parallel speedup is impossible; assert the IPC tax is
+        # bounded instead so a broken pool still fails loudly.
+        assert vs_serial > 1.0 / 3.0, (
+            f"multiprocess {vs_serial:.2f}x of serial: IPC overhead exceeds "
+            "the 3x single-core budget"
+        )
+
+
+# -- per-tier micro-benchmarks --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cross_case():
+    dtd = samples.cross_dtd()
+    tree = generate_document(
+        dtd, x_l=10, x_r=3, seed=11, max_elements=BENCH_CONFIG.elements
+    )
+    return dtd, tree
+
+
+def test_serial_tier_answer_per_call(benchmark, cross_case):
+    dtd, tree = cross_case
+    with QueryService(dtd, result_cache=False) as service:
+        service.register_document("doc", tree)
+        service.answer("a/b//c/d")  # warm the plan + prepared store
+        result = benchmark.pedantic(
+            lambda: service.answer("a/b//c/d"), rounds=3, iterations=2
+        )
+    benchmark.extra_info["tier"] = "serial"
+    benchmark.extra_info["matches"] = len(result)
+
+
+@fork_only
+def test_multiprocess_tier_answer_per_call(benchmark, cross_case):
+    dtd, tree = cross_case
+    from repro.api.config import EngineConfig
+
+    config = EngineConfig(result_cache_size=0)
+    with ProcessQueryService(
+        dtd, config=config, workers=2, replicas=2, start_method="fork",
+        warmup=["a/b//c/d"],
+    ) as pool:
+        pool.register_document("doc", tree)
+        pool.answer("a/b//c/d", "doc")  # warm the owning replica
+        result = benchmark.pedantic(
+            lambda: pool.answer("a/b//c/d", "doc", include_nodes=False),
+            rounds=3,
+            iterations=2,
+        )
+    benchmark.extra_info["tier"] = "multiprocess"
+    benchmark.extra_info["matches"] = result.count

@@ -125,11 +125,16 @@ class SqliteBackend(Backend):
 
     name = "sqlite"
     dialect = SQLDialect.SQLITE
+    # Shared-cache URIs embed the pid and sqlite3 connections cannot cross a
+    # fork/spawn boundary: instances are process-local and must be rebuilt in
+    # each worker (the pool's worker initializers key off this flag).
+    process_affine = True
 
     _instance_ids = itertools.count()
 
     def __init__(self, database: Database, path: str = ":memory:") -> None:
         super().__init__(database)
+        self._pid = os.getpid()
         if path == ":memory:":
             self._uri = (
                 f"file:repro-sqlite-{os.getpid()}-{next(self._instance_ids)}"
@@ -189,6 +194,16 @@ class SqliteBackend(Backend):
 
     def _conn(self) -> sqlite3.Connection:
         """This thread's connection, opened lazily on first use."""
+        # The pid check must come first: after a fork the child inherits the
+        # parent's thread-local *and* its connection object, but the
+        # shared-cache database behind them belongs to the parent.  Touching
+        # it would silently read an empty (or freshly re-created) database.
+        if os.getpid() != self._pid:
+            raise ExecutionError(
+                f"sqlite backend is process-affine: created in pid {self._pid}, "
+                f"used in pid {os.getpid()}; rebuild the store inside the "
+                "worker process instead of sharing it across fork/spawn"
+            )
         if self._closed:
             raise ExecutionError("sqlite backend is closed")
         connection = getattr(self._local, "connection", None)
@@ -196,6 +211,15 @@ class SqliteBackend(Backend):
             connection = self._open_connection()
             self._local.connection = connection
         return connection
+
+    def __reduce__(self):
+        # Refuse pickling (the multiprocessing transport) with a clear error
+        # instead of the opaque "cannot pickle '_thread.lock'" TypeError.
+        raise ExecutionError(
+            "SqliteBackend cannot be pickled: shared-cache in-memory URIs and "
+            "connections do not survive fork/spawn; ship the Database and "
+            "rebuild the backend in the worker process"
+        )
 
     # -- loading -----------------------------------------------------------------
 

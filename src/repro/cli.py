@@ -28,6 +28,29 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     Run a small query workload through the service and dump the
     process-wide metrics registry (cache counters, histograms) as one
     JSON document on stdout — the machine-readable observability surface.
+    ``--workers N`` routes the same workload through a
+    :class:`~repro.service.ProcessQueryService` instead and dumps the
+    metrics *merged* across the worker processes.
+
+``serve``
+    Boot the multiprocess serving tier behind the asyncio HTTP/JSON
+    front end (:mod:`repro.service.http`): N worker processes, generated
+    documents registered by recipe (so load generators can rebuild a
+    local verification oracle from ``GET /meta``), serving until
+    SIGINT/SIGTERM.
+
+``loadtest``
+    Drive fuzz-generated queries at a live ``repro serve`` over
+    ``--concurrency`` keep-alive connections and verify every response
+    node-for-node against a locally rebuilt serial service; prints one
+    JSON report (rps, p50/p99, failures, mismatches) and exits non-zero
+    on any failure or cross-engine mismatch.
+
+``bench-serving``
+    Measure the three serving tiers (serial, threaded, multiprocess) on
+    the BENCH_3 cross workload and optionally write the ``BENCH_5.json``
+    report (``--out``); ``--quick`` is the tiny-budget CI smoke
+    configuration.
 
 ``bench-service``
     Run the service throughput benchmark (cold vs warm-cache answering,
@@ -90,7 +113,11 @@ Examples
     python -m repro answer cross "a//d" --trace
     python -m repro explain dept "dept//project" --timing
     python -m repro stats dept "dept//project" --repeat 10
+    python -m repro stats cross "a//d" --workers 2 --repeat 10
     python -m repro bench-service --quick --out BENCH_3.json
+    python -m repro serve cross --port 8080 --workers 2 --documents 3
+    python -m repro loadtest --port 8080 --budget 1000 --concurrency 50
+    python -m repro bench-serving --quick --out BENCH_5.json
     python -m repro experiment exp5
     python -m repro experiment exp3 --quick --backend sqlite
     python -m repro experiment exp1 --quick --seed 7 --elements 800
@@ -277,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=5,
         help="answer the query this many times before the dump (default: 5)",
     )
+    stats.add_argument(
+        "--workers", type=int, default=0,
+        help="route the workload through a process pool of this size and "
+        "dump metrics merged across workers (default: 0 = in-process)",
+    )
 
     experiment = commands.add_parser(
         "experiment",
@@ -379,6 +411,96 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--replay", metavar="PATH", default=None,
         help="replay a saved corpus (a .json case file or a directory) instead of fuzzing",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a process pool over HTTP/JSON until SIGINT/SIGTERM",
+        parents=[_engine_flags(strategy=True, backend=True, optimize=True)],
+    )
+    serve.add_argument("dtd", help="paper DTD name or file path")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (default: 0 = min(4, cpu_count))",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="store replicas per document (default: 0 = every worker)",
+    )
+    serve.add_argument(
+        "--start-method", choices=["fork", "spawn", "forkserver"], default=None,
+        help="multiprocessing start method (default: fork where available)",
+    )
+    serve.add_argument(
+        "--documents", type=int, default=1,
+        help="generated documents to register as doc0..docN-1 (default: 1)",
+    )
+    serve.add_argument("--elements", type=int, default=500, help="element budget per document")
+    serve.add_argument("--seed", type=int, default=0, help="generator seed of doc0")
+    serve.add_argument("--x-l", type=int, default=8, help="maximum levels (X_L)")
+    serve.add_argument("--x-r", type=int, default=3, help="maximum repetition (X_R)")
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="drive verified fuzz queries at a live 'repro serve'",
+    )
+    loadtest.add_argument("--host", default="127.0.0.1", help="server address")
+    loadtest.add_argument("--port", type=int, default=8080, help="server port")
+    loadtest.add_argument(
+        "--budget", type=int, default=1000, help="total requests to send (default: 1000)"
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=50,
+        help="concurrent keep-alive sessions (default: 50)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0, help="query-generator seed")
+    loadtest.add_argument(
+        "--query-pool", type=int, default=40,
+        help="distinct fuzz queries to draw from (default: 40)",
+    )
+    loadtest.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the local-oracle node-for-node verification",
+    )
+    loadtest.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout in seconds"
+    )
+    loadtest.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="additionally write the JSON report to PATH",
+    )
+
+    bench_serving = commands.add_parser(
+        "bench-serving",
+        help="measure serial vs threaded vs multiprocess serving tiers",
+    )
+    bench_serving.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget (default: 1000, or the --quick budget)",
+    )
+    bench_serving.add_argument(
+        "--repeats", type=int, default=None,
+        help="workload repetitions per tier (default: 5, or the --quick budget)",
+    )
+    bench_serving.add_argument(
+        "--threads", type=int, default=None,
+        help="dispatcher threads of the threaded tier (default: 4, or the --quick budget)",
+    )
+    bench_serving.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes of the multiprocess tier (default: min(4, max(2, cpu_count)))",
+    )
+    bench_serving.add_argument(
+        "--quick", action="store_true",
+        help="tiny-budget defaults (CI smoke); explicit flags still override",
+    )
+    bench_serving.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report (BENCH_5.json format) to PATH",
     )
 
     bench_optimizer = commands.add_parser(
@@ -527,11 +649,43 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     if args.repeat < 1:
         raise SystemExit("--repeat must be >= 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
     dtd = _load_dtd(args.dtd)
     document = generate_document(
         dtd, x_l=args.x_l, x_r=args.x_r, seed=args.seed, max_elements=args.elements
     )
     config = engine_config_from_args(args)
+    if args.workers:
+        # Pool mode: the same workload through worker processes; the dump is
+        # the metrics registry merged across every worker (plus the parent).
+        from repro.service import ProcessQueryService
+
+        with ProcessQueryService(
+            dtd, config=config, workers=args.workers, replicas=args.workers,
+            warmup=[args.query],
+        ) as pool:
+            pool.register_document("doc", document)
+            for _ in range(args.repeat):
+                pool.answer(args.query, "doc", include_nodes=False)
+            pool_stats = pool.stats()
+        payload = {
+            "workload": {
+                "dtd": dtd.name,
+                "query": args.query,
+                "elements": document.size(),
+                "repeat": args.repeat,
+                "backend": config.backend,
+                "workers": pool_stats["workers"],
+            },
+            "pool": {
+                name: pool_stats[name]
+                for name in ("workers", "replicas", "start_method", "documents")
+            },
+            "metrics": pool_stats["metrics"],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     with QueryService(dtd, config=config) as service:
         service.register_document("doc", document)
         for _ in range(args.repeat):
@@ -667,6 +821,125 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the process pool + HTTP front end and serve until a signal.
+
+    Documents are registered by *recipe* (``register_generated``) so that
+    ``GET /meta`` exposes how to rebuild them — that is what lets
+    ``repro loadtest`` verify responses against a local oracle.
+    """
+    import os
+
+    from repro.fuzz.cases import DocumentSpec
+    from repro.service import ProcessQueryService
+    from repro.service.http import QueryHTTPServer
+
+    if args.documents < 1:
+        raise SystemExit("--documents must be >= 1")
+    if args.workers < 0 or args.replicas < 0:
+        raise SystemExit("--workers and --replicas must be >= 0")
+    dtd = _load_dtd(args.dtd)
+    config = engine_config_from_args(args)
+    workers = args.workers if args.workers > 0 else max(1, min(4, os.cpu_count() or 1))
+    replicas = args.replicas if args.replicas > 0 else workers
+    pool = ProcessQueryService(
+        dtd,
+        config=config,
+        workers=workers,
+        replicas=replicas,
+        start_method=args.start_method,
+        warmup=[dtd.root],
+    )
+    try:
+        for index in range(args.documents):
+            pool.register_generated(
+                f"doc{index}",
+                DocumentSpec(
+                    x_l=args.x_l,
+                    x_r=args.x_r,
+                    max_elements=args.elements,
+                    seed=args.seed + index,
+                ),
+            )
+        server = QueryHTTPServer(pool, host=args.host, port=args.port)
+        server.run(
+            ready=lambda url: print(
+                f"repro serve ready: {url} "
+                f"(dtd={dtd.name} workers={workers} replicas={replicas} "
+                f"documents={args.documents} backend={config.backend})",
+                flush=True,
+            )
+        )
+    finally:
+        pool.close()
+    print("repro serve stopped", flush=True)
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.service.http import run_loadtest
+
+    if args.budget < 1:
+        raise SystemExit("--budget must be >= 1")
+    if args.concurrency < 1:
+        raise SystemExit("--concurrency must be >= 1")
+    if args.query_pool < 1:
+        raise SystemExit("--query-pool must be >= 1")
+    try:
+        report = run_loadtest(
+            args.host,
+            args.port,
+            budget=args.budget,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            query_pool=args.query_pool,
+            verify=not args.no_verify,
+            timeout=args.timeout,
+        )
+    except (OSError, RuntimeError) as exc:
+        raise SystemExit(
+            f"loadtest against {args.host}:{args.port} failed: {exc}"
+        ) from None
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.service.servebench import (
+        ServingBenchConfig,
+        describe_report,
+        run_serving_benchmark,
+        write_report,
+    )
+
+    from dataclasses import replace
+
+    config = ServingBenchConfig.quick() if args.quick else ServingBenchConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("elements", args.elements),
+            ("repeats", args.repeats),
+            ("threads", args.threads),
+            ("workers", args.workers),
+        )
+        if value is not None
+    }
+    if any(value < 1 for value in overrides.values()):
+        raise SystemExit("--elements, --repeats, --threads and --workers must be >= 1")
+    config = replace(config, **overrides)
+    report = run_serving_benchmark(config)
+    print(describe_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import DocumentSpec, FuzzConfig, default_engines, replay_corpus, run_fuzz
 
@@ -778,7 +1051,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "generate": _cmd_generate,
         "bench-service": _cmd_bench_service,
+        "bench-serving": _cmd_bench_serving,
         "bench-optimizer": _cmd_bench_optimizer,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
         "fuzz": _cmd_fuzz,
     }
     try:

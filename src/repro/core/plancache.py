@@ -134,6 +134,21 @@ def plan_key(
     )
 
 
+class _InFlight:
+    """One in-progress factory call: followers block on ``event`` and then
+    read the leader's ``value`` (or re-raise its ``error``)."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = _UNSET
+        self.error: Optional[BaseException] = None
+
+
+_UNSET = object()
+
+
 @dataclass(frozen=True)
 class CacheInfo:
     """A snapshot of cache counters (:func:`functools.lru_cache` style)."""
@@ -162,8 +177,10 @@ class PlanCache:
     :meth:`get_or_create` is the primary API: it looks up the key and calls
     the factory on a miss.  The factory runs *outside* the internal lock —
     translation can take milliseconds and must not serialize unrelated
-    lookups — so two racing threads may both translate the same query; both
-    results are equivalent and the second simply wins the ``put``.
+    lookups — but misses on the *same* key are single-flight: one caller
+    becomes the leader and runs the factory, concurrent callers for that key
+    block on a per-key in-flight record and receive the leader's result (or
+    re-raise its exception) instead of duplicating the work.
 
     ``name`` labels the cache in the process-wide metrics registry: every
     hit/miss/eviction also increments ``cache.<name>.hits`` etc., so
@@ -176,6 +193,7 @@ class PlanCache:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self._capacity = capacity
         self._entries: "OrderedDict[PlanKey, Any]" = OrderedDict()
+        self._inflight: "dict[PlanKey, _InFlight]" = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -232,13 +250,61 @@ class PlanCache:
             self._eviction_counter.inc(evicted)
 
     def get_or_create(self, key: PlanKey, factory: Callable[[], Any]) -> Any:
-        """The cached plan for ``key``, creating it via ``factory`` on a miss."""
-        cached = self.get(key)
-        if cached is not None:
-            return cached
-        value = factory()
-        self.put(key, value)
-        return value
+        """The cached plan for ``key``, creating it via ``factory`` on a miss.
+
+        Concurrent misses on the same key are deduplicated (single-flight):
+        exactly one caller runs ``factory`` while the others block and share
+        its result.  A factory exception is propagated to every waiter and
+        nothing is cached, so the next call retries.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                value = self._entries[key]
+                leader = None
+            else:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                    self._misses += 1
+                else:
+                    leader = False
+        if leader is None:
+            self._hit_counter.inc()
+            return value
+
+        if leader:
+            self._miss_counter.inc()
+            try:
+                value = factory()
+            except BaseException as exc:
+                flight.error = exc
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            # Publish to the cache *before* retiring the flight so a thread
+            # arriving in between sees the entry rather than starting a
+            # duplicate flight.
+            self.put(key, value)
+            flight.value = value
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            return value
+
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        # Joining an in-flight computation avoided a duplicate factory run —
+        # account for it as a hit, exactly like finding the finished entry.
+        with self._lock:
+            self._hits += 1
+        self._hit_counter.inc()
+        return flight.value
 
     def cache_info(self) -> CacheInfo:
         """Current hit/miss/eviction counters and occupancy."""

@@ -86,3 +86,20 @@ class UnknownDocumentError(SessionError):
 
 class DuplicateDocumentError(SessionError):
     """Raised when a document id is registered twice."""
+
+
+class WorkerError(ReproError):
+    """An unexpected exception escaped a pool worker process.
+
+    Errors that map onto a :class:`ReproError` subclass are re-raised as
+    that subclass in the dispatching process; anything else surfaces as a
+    ``WorkerError`` carrying the remote type name and message.
+    """
+
+
+class WorkerCrashError(WorkerError):
+    """A pool worker process died mid-request (crash, kill, OOM).
+
+    The pool respawns the worker and retries the request once; a second
+    crash propagates this error to the caller.
+    """

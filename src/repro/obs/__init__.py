@@ -29,6 +29,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
     registry,
     set_registry,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshots",
     "registry",
     "set_registry",
     # logs

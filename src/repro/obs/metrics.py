@@ -29,6 +29,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshots",
     "registry",
     "set_registry",
 ]
@@ -192,7 +193,7 @@ class Histogram:
             self._max = None
             self._next = 0
 
-    def _snapshot(self) -> Dict[str, object]:
+    def _snapshot(self, include_reservoir: bool = False) -> Dict[str, object]:
         with self._lock:
             ordered = sorted(self._samples)
             count, total = self._count, self._sum
@@ -207,6 +208,11 @@ class Histogram:
         }
         for label, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
             snapshot[label] = self._percentile(ordered, fraction) if ordered else None
+        if include_reservoir:
+            # The retained window itself, for cross-process merging: a
+            # worker ships its snapshot home and the parent recomputes
+            # percentiles over the concatenated reservoirs.
+            snapshot["reservoir"] = ordered
         return snapshot
 
 
@@ -261,12 +267,23 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._instruments)
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Every instrument rendered as a JSON-safe dict, keyed by name."""
+    def snapshot(
+        self, include_reservoirs: bool = False
+    ) -> Dict[str, Dict[str, object]]:
+        """Every instrument rendered as a JSON-safe dict, keyed by name.
+
+        With ``include_reservoirs=True`` every histogram also carries its
+        retained sample window — the form worker processes ship back so
+        :func:`merge_snapshots` can compute truthful merged percentiles.
+        """
         with self._lock:
             instruments = dict(self._instruments)
         return {
-            name: instrument._snapshot()  # type: ignore[attr-defined]
+            name: (
+                instrument._snapshot(include_reservoir=True)
+                if isinstance(instrument, Histogram) and include_reservoirs
+                else instrument._snapshot()  # type: ignore[attr-defined]
+            )
             for name, instrument in sorted(instruments.items())
         }
 
@@ -282,6 +299,71 @@ class MetricsRegistry:
             f"MetricsRegistry(instruments={len(self._instruments)}, "
             f"enabled={self.enabled})"
         )
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Dict[str, object]]]
+) -> Dict[str, Dict[str, object]]:
+    """Merge per-process metric snapshots into one truthful aggregate.
+
+    This is how multiprocess serving keeps ``repro stats`` honest: each
+    worker owns a process-local registry and ships
+    ``snapshot(include_reservoirs=True)`` home; the parent merges.
+
+    * counters and gauges sum their values (gauges in this codebase are
+      additive occupancies — documents registered, cache sizes — so the
+      sum across workers is the fleet total);
+    * histograms keep exact ``count``/``sum`` (summed), exact ``min``/
+      ``max`` (extremes across processes), recompute ``mean`` from the
+      merged exact totals, and recompute percentiles over the concatenated
+      reservoirs.  The merged output drops the raw reservoir again.
+
+    A name appearing with different instrument types raises ``ValueError``.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    reservoirs: Dict[str, List[float]] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            current = merged.get(name)
+            if current is not None and current["type"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {current['type']} in one snapshot "
+                    f"and a {kind} in another"
+                )
+            if kind == "histogram":
+                if current is None:
+                    current = merged[name] = {
+                        "type": "histogram",
+                        "count": 0,
+                        "sum": 0.0,
+                        "min": None,
+                        "max": None,
+                    }
+                    reservoirs[name] = []
+                current["count"] += entry.get("count", 0) or 0
+                current["sum"] += entry.get("sum", 0.0) or 0.0
+                for bound, pick in (("min", min), ("max", max)):
+                    value = entry.get(bound)
+                    if value is not None:
+                        held = current[bound]
+                        current[bound] = value if held is None else pick(held, value)
+                reservoirs[name].extend(entry.get("reservoir") or ())
+            else:
+                if current is None:
+                    current = merged[name] = {"type": kind, "value": 0}
+                current["value"] += entry.get("value", 0) or 0
+    for name, entry in merged.items():
+        if entry["type"] != "histogram":
+            continue
+        count = entry["count"]
+        entry["mean"] = (entry["sum"] / count) if count else None
+        ordered = sorted(reservoirs[name])
+        for label, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            entry[label] = (
+                Histogram._percentile(ordered, fraction) if ordered else None
+            )
+    return dict(sorted(merged.items()))
 
 
 _REGISTRY = MetricsRegistry()

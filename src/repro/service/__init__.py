@@ -12,11 +12,20 @@ and concurrently from many threads.
 warm (cached) answering and serial vs threaded batch throughput, written to
 ``BENCH_3.json`` by the benchmark suite and the ``repro bench-service``
 subcommand.
+
+Because that benchmark showed threads *lose* on this pure-Python CPU
+workload, :mod:`repro.service.pool` adds the process-based tier —
+:class:`ProcessQueryService`, N worker processes with sharded document
+stores behind one facade — :mod:`repro.service.http` puts an asyncio
+HTTP/JSON front end (and a verifying load generator) on top of it, and
+:mod:`repro.service.servebench` measures serial vs threaded vs multiprocess
+into ``BENCH_5.json``.
 """
 
 from __future__ import annotations
 
 from repro.core.plancache import CacheInfo, PlanCache, PlanKey, dtd_fingerprint
+from repro.service.pool import PoolAnswer, ProcessQueryService
 from repro.service.service import DocumentStore, QueryService
 
 __all__ = [
@@ -24,6 +33,8 @@ __all__ = [
     "DocumentStore",
     "PlanCache",
     "PlanKey",
+    "PoolAnswer",
+    "ProcessQueryService",
     "QueryService",
     "dtd_fingerprint",
 ]

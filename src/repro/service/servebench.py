@@ -1,0 +1,271 @@
+"""The serving-tier benchmark: serial vs threaded vs multiprocess (BENCH_5).
+
+BENCH_3's ``concurrency`` scenario documented the regression this PR
+exists to fix: on the pure-Python memory backend a 4-thread pool answers
+the cross workload *slower* than one thread (GIL contention).  This
+harness runs the identical BENCH_3 cross workload through three serving
+tiers and reports requests/sec plus p50/p99 latency for each:
+
+``serial``
+    One :class:`~repro.service.QueryService`, one request at a time — the
+    single-core baseline.
+``threaded``
+    The same service driven by ``threads`` concurrent dispatchers — the
+    tier BENCH_3 showed losing to serial.
+``multiprocess``
+    A :class:`~repro.service.ProcessQueryService` (every worker owns a
+    replica of the document, result caches off) driven by the same number
+    of concurrent dispatchers — requests spread across worker *processes*,
+    the only concurrency CPython's GIL cannot serialize.  A fourth row,
+    ``multiprocess_batch``, sends the whole workload as chunked
+    ``answer_batch`` calls (one queue round-trip per worker), the
+    throughput shape batch consumers use.
+
+Honesty notes, because benchmarks lie by omission: the report records
+``cpu_count`` — on a single-core host true parallel speedup is physically
+impossible and multiprocess ≈ serial minus IPC overhead is the *expected*
+outcome (the benchmark suite gates its ">1x vs serial" assertion on
+``cpu_count >= 2``); result caches are off in every tier so repeated
+queries measure execution, not dictionary lookups; and every tier's
+answers are compared node-for-node against the serial tier
+(``results_match``), so a tier cannot win by being wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import EngineConfig
+from repro.service.bench import ServiceBenchConfig, _cross_workload
+from repro.service.pool import ProcessQueryService
+from repro.service.service import QueryService
+
+__all__ = [
+    "ServingBenchConfig",
+    "describe_report",
+    "run_serving_benchmark",
+    "write_report",
+]
+
+BENCH_NAME = "serving-tiers"
+BENCH_ISSUE = 7
+BACKENDS = ("memory", "sqlite")
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Knobs of one serving-tier run (defaults are the committed baseline)."""
+
+    elements: int = 1000
+    repeats: int = 5
+    threads: int = 4
+    workers: int = 0  # 0 -> min(4, max(2, cpu_count))
+    seed: int = 11
+    cache_capacity: int = 128
+    start_method: str = ""  # "" -> platform default (fork where available)
+
+    @classmethod
+    def quick(cls) -> "ServingBenchConfig":
+        """A tiny-budget configuration for CI smoke runs."""
+        return cls(elements=300, repeats=2, threads=2, workers=2)
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return min(4, max(2, os.cpu_count() or 1))
+
+
+def _percentile_ms(latencies: Sequence[float], fraction: float) -> Optional[float]:
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[int(rank)] * 1000.0
+
+
+def _mode_entry(
+    seconds: float, latencies: Sequence[float], calls: int, **extra: object
+) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "calls": calls,
+        "seconds": seconds,
+        "rps": (calls / seconds) if seconds > 0 else None,
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+    }
+    entry.update(extra)
+    return entry
+
+
+def _drive(worker, sequence: List[str], dispatchers: int):
+    """Issue one request per sequence entry via ``dispatchers`` threads.
+
+    Returns (total seconds, per-request latency list, per-request results in
+    input order).  ``dispatchers=1`` degenerates to a plain serial loop.
+    """
+    latencies = [0.0] * len(sequence)
+    results: List[Tuple[int, ...]] = [()] * len(sequence)
+
+    def one(position: int) -> None:
+        started = time.perf_counter()
+        results[position] = worker(sequence[position])
+        latencies[position] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    if dispatchers <= 1:
+        for position in range(len(sequence)):
+            one(position)
+    else:
+        with ThreadPoolExecutor(max_workers=dispatchers) as pool:
+            list(pool.map(one, range(len(sequence))))
+    return time.perf_counter() - started, latencies, results
+
+
+def _bench_backend(
+    config: ServingBenchConfig, backend: str
+) -> Dict[str, object]:
+    _, dtd, queries, tree = _cross_workload(
+        ServiceBenchConfig(elements=config.elements, seed=config.seed)
+    )
+    sequence = [query for _ in range(config.repeats) for query in queries.values()]
+    distinct = list(queries.values())
+    workers = config.resolved_workers()
+    engine_config = EngineConfig(
+        backend=backend,
+        plan_cache_size=config.cache_capacity,
+        result_cache_size=0,  # every request must execute (see module doc)
+    )
+
+    # -- serial + threaded: one in-process service -----------------------------
+    with QueryService(dtd, config=engine_config) as service:
+        service.register_document("doc", tree)
+        for query in distinct:  # warm plans + prepared store before timing
+            service.answer(query)
+
+        def in_process(query: str) -> Tuple[int, ...]:
+            return tuple(node.node_id for node in service.answer(query))
+
+        serial_seconds, serial_latencies, serial_results = _drive(
+            in_process, sequence, dispatchers=1
+        )
+        threaded_seconds, threaded_latencies, threaded_results = _drive(
+            in_process, sequence, dispatchers=config.threads
+        )
+
+    # -- multiprocess: replicas == workers so the hot document is everywhere ---
+    with ProcessQueryService(
+        dtd,
+        config=engine_config,
+        workers=workers,
+        replicas=workers,
+        start_method=config.start_method or None,
+        warmup=distinct,
+    ) as pool:
+        pool.register_document("doc", tree)
+        for query in distinct:  # warm every replica's prepared store
+            pool.answer_batch([query] * workers, "doc", include_nodes=False)
+
+        def via_pool(query: str) -> Tuple[int, ...]:
+            return tuple(
+                pool.answer(query, "doc", include_nodes=False).node_ids
+            )
+
+        mp_seconds, mp_latencies, mp_results = _drive(
+            via_pool, sequence, dispatchers=max(config.threads, workers)
+        )
+
+        batch_started = time.perf_counter()
+        batch_answers = pool.answer_batch(sequence, "doc", include_nodes=False)
+        batch_seconds = time.perf_counter() - batch_started
+        batch_results = [tuple(answer.node_ids) for answer in batch_answers]
+
+    results_match = (
+        serial_results == threaded_results == mp_results == batch_results
+    )
+    serial_rps = len(sequence) / serial_seconds if serial_seconds else 0.0
+    entry: Dict[str, object] = {
+        "calls": len(sequence),
+        "distinct_queries": len(distinct),
+        "document_elements": tree.size(),
+        "serial": _mode_entry(serial_seconds, serial_latencies, len(sequence)),
+        "threaded": _mode_entry(
+            threaded_seconds, threaded_latencies, len(sequence),
+            threads=config.threads,
+        ),
+        "multiprocess": _mode_entry(
+            mp_seconds, mp_latencies, len(sequence),
+            workers=workers, dispatchers=max(config.threads, workers),
+        ),
+        "multiprocess_batch": _mode_entry(
+            batch_seconds, [], len(sequence), workers=workers
+        ),
+        "results_match": results_match,
+    }
+    threaded_rps = len(sequence) / threaded_seconds if threaded_seconds else 0.0
+    mp_rps = len(sequence) / mp_seconds if mp_seconds else 0.0
+    entry["threaded_vs_serial"] = threaded_rps / serial_rps if serial_rps else None
+    entry["multiprocess_vs_serial"] = mp_rps / serial_rps if serial_rps else None
+    entry["multiprocess_vs_threaded"] = (
+        mp_rps / threaded_rps if threaded_rps else None
+    )
+    return entry
+
+
+def run_serving_benchmark(
+    config: Optional[ServingBenchConfig] = None,
+) -> Dict[str, object]:
+    """Run every backend × tier and return the (JSON-serializable) report."""
+    config = config or ServingBenchConfig()
+    scenarios = {backend: _bench_backend(config, backend) for backend in BACKENDS}
+    report: Dict[str, object] = {
+        "bench": BENCH_NAME,
+        "issue": BENCH_ISSUE,
+        "created_unix": int(time.time()),
+        "cpu_count": os.cpu_count(),
+        "config": asdict(config),
+        "scenarios": scenarios,
+        "ok": all(entry["results_match"] for entry in scenarios.values()),
+    }
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write a report as pretty-printed JSON (the ``BENCH_5.json`` format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def describe_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI output)."""
+    lines = [
+        f"serving benchmark ({report['bench']}, cpu_count={report['cpu_count']}, "
+        f"{report['config']['elements']} elements)"
+    ]
+    for backend, entry in sorted(report["scenarios"].items()):
+        for mode in ("serial", "threaded", "multiprocess", "multiprocess_batch"):
+            stats = entry[mode]
+            p50 = stats["p50_ms"]
+            p99 = stats["p99_ms"]
+            latency = (
+                f" p50 {p50:.1f}ms p99 {p99:.1f}ms"
+                if p50 is not None and p99 is not None
+                else ""
+            )
+            lines.append(
+                f"  {backend}/{mode}: {stats['calls']} calls in "
+                f"{stats['seconds']:.3f}s = {stats['rps']:.1f} req/s{latency}"
+            )
+        lines.append(
+            f"  {backend}: multiprocess vs serial "
+            f"{entry['multiprocess_vs_serial']:.2f}x, vs threaded "
+            f"{entry['multiprocess_vs_threaded']:.2f}x "
+            f"(results match: {entry['results_match']})"
+        )
+    lines.append(f"  ok: {report['ok']}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Cross-process metrics merging: ``merge_snapshots`` must be truthful.
+
+The multiprocess serving tier gives every worker its own process-local
+registry; workers ship ``snapshot(include_reservoirs=True)`` home and the
+parent merges.  These tests pin the merge semantics the ISSUE demands:
+counters sum, histograms merge reservoirs with exact count/sum/min/max.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots
+
+
+def _worker_registry(latencies, queries):
+    registry = MetricsRegistry()
+    registry.counter("service.queries").inc(queries)
+    histogram = registry.histogram("answer.seconds")
+    for value in latencies:
+        histogram.observe(value)
+    return registry
+
+
+class TestSnapshotReservoirs:
+    def test_default_snapshot_has_no_reservoir(self):
+        registry = _worker_registry([1.0, 2.0], queries=2)
+        snapshot = registry.snapshot()
+        assert "reservoir" not in snapshot["answer.seconds"]
+
+    def test_reservoir_snapshot_carries_the_window_sorted(self):
+        registry = _worker_registry([3.0, 1.0, 2.0], queries=3)
+        snapshot = registry.snapshot(include_reservoirs=True)
+        assert snapshot["answer.seconds"]["reservoir"] == [1.0, 2.0, 3.0]
+
+    def test_reservoir_snapshot_is_json_safe(self):
+        registry = _worker_registry([0.5], queries=1)
+        json.dumps(registry.snapshot(include_reservoirs=True))
+
+
+class TestMergeSemantics:
+    def test_counters_sum_across_workers(self):
+        snapshots = [
+            _worker_registry([], queries=q).snapshot() for q in (3, 5, 0)
+        ]
+        merged = merge_snapshots(snapshots)
+        assert merged["service.queries"] == {"type": "counter", "value": 8}
+
+    def test_gauges_sum_across_workers(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("service.documents").set(2)
+        second.gauge("service.documents").set(3)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["service.documents"]["value"] == 5
+
+    def test_histograms_merge_exact_count_sum_min_max(self):
+        first = _worker_registry([1.0, 9.0], queries=2)
+        second = _worker_registry([2.0, 4.0, 0.5], queries=3)
+        merged = merge_snapshots(
+            [
+                first.snapshot(include_reservoirs=True),
+                second.snapshot(include_reservoirs=True),
+            ]
+        )
+        entry = merged["answer.seconds"]
+        assert entry["count"] == 5
+        assert entry["sum"] == pytest.approx(16.5)
+        assert entry["min"] == 0.5
+        assert entry["max"] == 9.0
+        assert entry["mean"] == pytest.approx(16.5 / 5)
+        # Percentiles are recomputed over the concatenated reservoirs, and
+        # the raw reservoir is dropped from the merged output.
+        assert entry["p50"] == 2.0
+        assert entry["p99"] == 9.0
+        assert "reservoir" not in entry
+
+    def test_merged_histogram_equals_single_process_ground_truth(self):
+        # Split one observation stream across three "workers": the merge
+        # must reproduce exactly what one registry seeing everything says.
+        stream = [float(value) for value in range(1, 61)]
+        whole = _worker_registry(stream, queries=60)
+        shards = [
+            _worker_registry(stream[index::3], queries=20) for index in range(3)
+        ]
+        merged = merge_snapshots(
+            [shard.snapshot(include_reservoirs=True) for shard in shards]
+        )
+        expected = whole.snapshot()["answer.seconds"]
+        got = merged["answer.seconds"]
+        for field in ("count", "sum", "min", "max", "mean", "p50", "p95", "p99"):
+            assert got[field] == pytest.approx(expected[field]), field
+        assert merged["service.queries"]["value"] == 60
+
+    def test_disjoint_names_union(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("only.first").inc()
+        second.counter("only.second").inc(2)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["only.first"]["value"] == 1
+        assert merged["only.second"]["value"] == 2
+        assert list(merged) == sorted(merged)
+
+    def test_type_mismatch_raises(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("clash").inc()
+        second.histogram("clash").observe(1.0)
+        with pytest.raises(ValueError, match="clash"):
+            merge_snapshots([first.snapshot(), second.snapshot()])
+
+    def test_empty_inputs(self):
+        assert merge_snapshots([]) == {}
+        empty = MetricsRegistry()
+        empty.histogram("quiet.seconds")  # registered, never observed
+        merged = merge_snapshots([empty.snapshot(include_reservoirs=True)])
+        entry = merged["quiet.seconds"]
+        assert entry["count"] == 0
+        assert entry["mean"] is None and entry["p99"] is None
+
+    def test_merge_without_reservoirs_still_sums_exact_fields(self):
+        # Plain snapshots (no reservoir) remain mergeable: exact fields are
+        # exact, percentiles degrade to None rather than lying.
+        first = _worker_registry([1.0], queries=1)
+        merged = merge_snapshots([first.snapshot(), first.snapshot()])
+        entry = merged["answer.seconds"]
+        assert entry["count"] == 2
+        assert entry["p50"] is None

@@ -1,0 +1,123 @@
+"""Property: the multiprocess tier is semantically invisible (Issue 7).
+
+For every sample DTD × both backends,
+:meth:`~repro.service.ProcessQueryService.answer` and
+:meth:`~repro.service.ProcessQueryService.answer_batch` must return
+node-for-node what the serial :class:`~repro.service.QueryService`
+returns — including after a simulated worker crash + respawn, and under
+the ``spawn`` start method (the one that re-imports everything from
+scratch).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.dtd import samples
+from repro.service import ProcessQueryService, QueryService
+from repro.workloads.queries import GEDML_QUERY
+from repro.xmltree.generator import generate_document
+
+DTD_CASES = {
+    "dept": ("dept//project", samples.dept_dtd),
+    "cross": ("a/b//c/d", samples.cross_dtd),
+    "bioml-a": ("gene//locus", samples.bioml_subgraph_a),
+    "bioml-b": ("gene//locus", samples.bioml_subgraph_b),
+    "bioml-c": ("gene//locus", samples.bioml_subgraph_c),
+    "bioml-d": ("gene//locus", samples.bioml_subgraph_d),
+    "bioml": ("gene//dna", samples.bioml_dtd),
+    "gedml": (GEDML_QUERY, samples.gedml_dtd),
+}
+
+BACKENDS = ["memory", "sqlite"]
+
+_METHODS = multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif("fork" not in _METHODS, reason="fork unavailable")
+spawn_only = pytest.mark.skipif("spawn" not in _METHODS, reason="spawn unavailable")
+
+
+def _ids(nodes):
+    return [node.node_id for node in nodes]
+
+
+def _tree(dtd):
+    return generate_document(dtd, x_l=7, x_r=3, seed=13, max_elements=250)
+
+
+def _batch_queries(dtd, query):
+    return [query, f"{dtd.root}/*", query, dtd.root]
+
+
+@fork_only
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtd_name", sorted(DTD_CASES))
+def test_pool_answers_equal_serial_service(dtd_name, backend):
+    query, factory = DTD_CASES[dtd_name]
+    dtd = factory()
+    tree = _tree(dtd)
+    config = EngineConfig(backend=backend)
+    queries = _batch_queries(dtd, query)
+
+    with QueryService(dtd, config=config) as serial:
+        serial.register_document("doc", tree)
+        expected_one = _ids(serial.answer(query, "doc"))
+        expected_batch = [_ids(serial.answer(text, "doc")) for text in queries]
+
+    with ProcessQueryService(
+        dtd, config=config, workers=2, replicas=2, start_method="fork"
+    ) as pool:
+        pool.register_document("doc", tree)
+        assert list(pool.answer(query, "doc").node_ids) == expected_one
+        batch = pool.answer_batch(queries, "doc")
+        assert [list(answer.node_ids) for answer in batch] == expected_batch
+
+
+@fork_only
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pool_answers_equal_serial_after_crash_and_respawn(backend):
+    query, factory = DTD_CASES["cross"]
+    dtd = factory()
+    tree = _tree(dtd)
+    config = EngineConfig(backend=backend)
+    queries = _batch_queries(dtd, query)
+
+    with QueryService(dtd, config=config) as serial:
+        serial.register_document("doc", tree)
+        expected = [_ids(serial.answer(text, "doc")) for text in queries]
+
+    with ProcessQueryService(
+        dtd, config=config, workers=2, replicas=2, start_method="fork"
+    ) as pool:
+        pool.register_document("doc", tree)
+        before = pool.answer_batch(queries, "doc")
+        assert [list(answer.node_ids) for answer in before] == expected
+        for index in range(pool.workers):  # every replica dies once
+            pool._kill_worker(index)
+            after = pool.answer_batch(queries, "doc")
+            assert [list(answer.node_ids) for answer in after] == expected
+        assert pool.stats()["metrics"]["pool.respawns"]["value"] >= pool.workers
+
+
+@spawn_only
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pool_answers_equal_serial_under_spawn(backend):
+    # spawn re-imports the worker module from scratch: nothing may depend
+    # on inherited parent state (this is also the Windows/macOS default).
+    query, factory = DTD_CASES["dept"]
+    dtd = factory()
+    tree = _tree(dtd)
+    config = EngineConfig(backend=backend)
+
+    with QueryService(dtd, config=config) as serial:
+        serial.register_document("doc", tree)
+        expected = _ids(serial.answer(query, "doc"))
+
+    with ProcessQueryService(
+        dtd, config=config, workers=2, replicas=2, start_method="spawn",
+        warmup=[query],
+    ) as pool:
+        pool.register_document("doc", tree)
+        assert list(pool.answer(query, "doc").node_ids) == expected

@@ -96,6 +96,99 @@ class TestCounters:
         info = cache.cache_info()
         assert (info.hits, info.misses) == (1, 1)
 
+    def test_concurrent_misses_on_one_key_run_factory_once(self):
+        # Regression: get_or_create used to run the factory outside the lock,
+        # so N threads missing the same key each paid the (expensive)
+        # translation and the later puts silently discarded duplicates.
+        # Single-flight: one leader runs the factory, the rest wait for it.
+        threads_n = 8
+        cache = PlanCache(capacity=4)
+        barrier = threading.Barrier(threads_n)
+        release = threading.Event()
+        calls = []
+        results = []
+        errors = []
+
+        def factory():
+            calls.append(threading.get_ident())
+            release.wait(timeout=5)  # hold every concurrent caller in-flight
+            return "plan"
+
+        def worker():
+            try:
+                barrier.wait()
+                results.append(cache.get_or_create(_key("q"), factory))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for thread in pool:
+            thread.start()
+        while not calls:  # leader is inside the factory; followers must wait
+            pass
+        release.set()
+        for thread in pool:
+            thread.join()
+        assert not errors
+        assert len(calls) == 1, "factory must run exactly once per key"
+        assert results == ["plan"] * threads_n
+        info = cache.cache_info()
+        assert info.misses == 1
+        assert info.hits == threads_n - 1
+
+    def test_factory_error_propagates_to_all_waiters_and_is_not_cached(self):
+        threads_n = 4
+        cache = PlanCache(capacity=4)
+        barrier = threading.Barrier(threads_n)
+        calls = []
+        errors = []
+
+        def failing_factory():
+            calls.append(1)
+            raise RuntimeError("translation failed")
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_create(_key("bad"), failing_factory)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        # Every caller saw the failure (leader's raise or a re-raise), and
+        # nothing was cached, so a later call retries the factory.
+        assert len(errors) == threads_n
+        assert _key("bad") not in cache
+        assert cache.get_or_create(_key("bad2"), lambda: "ok") == "ok"
+
+    def test_distinct_keys_do_not_serialize_each_other(self):
+        # Single-flight is per-key: a slow factory on one key must not block
+        # a concurrent miss on a different key.
+        cache = PlanCache(capacity=4)
+        slow_started = threading.Event()
+        slow_release = threading.Event()
+        done = []
+
+        def slow_factory():
+            slow_started.set()
+            slow_release.wait(timeout=5)
+            return "slow"
+
+        slow = threading.Thread(
+            target=lambda: done.append(cache.get_or_create(_key("slow"), slow_factory))
+        )
+        slow.start()
+        assert slow_started.wait(timeout=5)
+        # While 'slow' is in flight, an unrelated key completes immediately.
+        assert cache.get_or_create(_key("fast"), lambda: "fast") == "fast"
+        slow_release.set()
+        slow.join()
+        assert done == ["slow"]
+
     def test_thread_safety_smoke(self):
         cache = PlanCache(capacity=8)
         errors = []

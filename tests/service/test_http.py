@@ -1,0 +1,195 @@
+"""The HTTP front end: routes, error statuses, and the verifying loadtest."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.dtd import samples
+from repro.fuzz.cases import DocumentSpec
+from repro.service import ProcessQueryService, QueryService
+from repro.service.http import QueryHTTPServer, run_loadtest
+from repro.xmltree.generator import generate_document
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="http tests use the fork start method for speed",
+)
+
+DOC_SPEC = DocumentSpec(max_elements=200, seed=4)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One live server for the whole module: (host, port, pool)."""
+    dtd = samples.cross_dtd()
+    pool = ProcessQueryService(
+        dtd, workers=2, replicas=2, start_method="fork", warmup=["a//d"]
+    )
+    pool.register_generated("doc0", DOC_SPEC)
+    pool.register_document(
+        "tree-doc", generate_document(dtd, seed=9, max_elements=120)
+    )
+    http_server = QueryHTTPServer(pool, port=0)
+    ready = threading.Event()
+    bound = {}
+
+    def _ready(url: str) -> None:
+        bound["url"] = url
+        ready.set()
+
+    thread = threading.Thread(
+        target=http_server.run, kwargs={"ready": _ready}, daemon=True
+    )
+    thread.start()
+    assert ready.wait(10), "server did not come up"
+    yield http_server.host, http_server.port, pool
+    http_server.request_stop()
+    thread.join(10)
+    pool.close()
+
+
+def _request(server, method, path, payload=None):
+    host, port, _pool = server
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        connection.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if raw else None
+    finally:
+        connection.close()
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    dtd = samples.cross_dtd()
+    service = QueryService(dtd)
+    service.register_document("doc0", DOC_SPEC.generate(dtd))
+    yield service
+    service.close()
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        assert _request(server, "GET", "/healthz") == (200, {"status": "ok"})
+
+    def test_answer_matches_serial_oracle(self, server, oracle):
+        status, payload = _request(
+            server, "POST", "/answer", {"query": "a//d", "document": "doc0"}
+        )
+        assert status == 200
+        expected = [node.node_id for node in oracle.answer("a//d", "doc0")]
+        assert payload["node_ids"] == expected
+        assert payload["count"] == len(expected)
+        assert len(payload["labels"]) == len(expected)
+
+    def test_answer_without_nodes_ships_ids_only(self, server):
+        status, payload = _request(
+            server,
+            "POST",
+            "/answer",
+            {"query": "a//d", "document": "doc0", "include_nodes": False},
+        )
+        assert status == 200
+        assert "labels" not in payload and "values" not in payload
+        assert payload["node_ids"]
+
+    def test_batch_preserves_order(self, server, oracle):
+        queries = ["a//d", "a", "a//c"]
+        status, payload = _request(
+            server, "POST", "/batch", {"queries": queries, "document": "doc0"}
+        )
+        assert status == 200
+        assert [answer["query"] for answer in payload["answers"]] == queries
+        for answer in payload["answers"]:
+            expected = [
+                node.node_id for node in oracle.answer(answer["query"], "doc0")
+            ]
+            assert answer["node_ids"] == expected
+
+    def test_stats_merges_pool_and_http(self, server):
+        _request(server, "POST", "/answer", {"query": "a//d", "document": "doc0"})
+        status, payload = _request(server, "GET", "/stats")
+        assert status == 200
+        assert payload["http"]["http.requests"]["value"] >= 1
+        assert payload["pool"]["workers"] == 2
+        assert payload["pool"]["metrics"]["service.queries"]["value"] >= 1
+
+    def test_meta_carries_recipes_for_generated_documents(self, server):
+        status, payload = _request(server, "GET", "/meta")
+        assert status == 200
+        assert payload["dtd_name"] == "cross"
+        assert "a" in payload["dtd_text"]  # grammar text is present
+        assert payload["config"]["backend"] == "memory"
+        assert payload["documents"]["doc0"]["max_elements"] == 200
+        assert payload["documents"]["tree-doc"] is None  # no recipe for trees
+
+
+class TestErrorStatuses:
+    def test_syntax_error_is_400(self, server):
+        status, payload = _request(
+            server, "POST", "/answer", {"query": "a//", "document": "doc0"}
+        )
+        assert status == 400
+        assert payload["error"] == "XPathSyntaxError"
+
+    def test_unknown_document_is_404(self, server):
+        status, payload = _request(
+            server, "POST", "/answer", {"query": "a//d", "document": "nope"}
+        )
+        assert status == 404
+        assert payload["error"] == "UnknownDocumentError"
+
+    def test_missing_query_is_400(self, server):
+        status, payload = _request(server, "POST", "/answer", {})
+        assert status == 400
+        assert payload["error"] == "BadRequest"
+
+    def test_unroutable_path_is_404(self, server):
+        status, payload = _request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_malformed_json_is_400(self, server):
+        host, port, _pool = server
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("POST", "/answer", body="not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"] == "BadRequest"
+        finally:
+            connection.close()
+
+
+class TestLoadtest:
+    def test_verified_loadtest_reports_zero_mismatches(self, server):
+        host, port, _pool = server
+        report = run_loadtest(
+            host, port, budget=60, concurrency=8, seed=3, query_pool=15
+        )
+        assert report["ok"] is True
+        assert report["requests"] == 60
+        assert report["failures"] == 0 and report["mismatches"] == 0
+        assert report["verified"] is True
+        assert report["documents"] == 1  # tree-doc has no recipe: skipped
+        assert report["rps"] > 0
+        assert report["p50_ms"] is not None and report["p99_ms"] is not None
+        json.dumps(report)  # the CLI prints it verbatim
+
+    def test_unverified_loadtest_still_counts_requests(self, server):
+        host, port, _pool = server
+        report = run_loadtest(
+            host, port, budget=10, concurrency=2, seed=5, verify=False
+        )
+        assert report["requests"] == 10
+        assert report["verified"] is False
+        # without an oracle every registered document is fair game
+        assert report["documents"] == 2
