@@ -32,6 +32,7 @@ from repro.core.expath_to_sql import TranslationOptions
 from repro.core.optimize import OPTIMIZE_LEVELS
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.errors import ConfigError
+from repro.relational.columnar import DEFAULT_EXECUTOR, executor_names
 from repro.relational.sqlgen import SQLDialect
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "resolve_engine_config",
     "strategy_names",
     "dialect_names",
+    "executor_names",
 ]
 
 
@@ -100,6 +102,13 @@ class EngineConfig:
     backend:
         Execution-backend name (``memory`` or ``sqlite`` today; any name in
         :func:`repro.backends.backend_names`).
+    executor:
+        In-memory execution engine: ``columnar`` (default — the batched
+        operator-at-a-time engine over dictionary-encoded column arrays) or
+        ``tuple`` (the original row-at-a-time engine, kept as the
+        differential baseline).  Only the ``memory`` backend consumes it;
+        plans are executor-independent, so it is excluded from
+        :meth:`translation_signature`.
     use_small_seed / push_selections / select_root:
         The Sect. 5.2 lowering options, flattened from
         :class:`~repro.core.expath_to_sql.TranslationOptions` so one object
@@ -133,6 +142,7 @@ class EngineConfig:
     optimize_level: Optional[int] = None
     dialect: Optional[SQLDialect] = None
     backend: str = "memory"
+    executor: str = DEFAULT_EXECUTOR
     use_small_seed: bool = True
     push_selections: bool = False
     select_root: bool = True
@@ -157,6 +167,11 @@ class EngineConfig:
             raise ConfigError(
                 f"unknown backend {self.backend!r} "
                 f"(known: {', '.join(backend_names())})"
+            )
+        if self.executor not in executor_names():
+            raise ConfigError(
+                f"unknown executor {self.executor!r} "
+                f"(known: {', '.join(executor_names())})"
             )
         for flag in ("use_small_seed", "push_selections", "select_root", "observability"):
             if not isinstance(getattr(self, flag), bool):
@@ -192,8 +207,9 @@ class EngineConfig:
         """Identity of the *translated program* this config produces.
 
         Two configs with equal signatures translate any query to the very
-        same program (backend and cache sizing do not affect translation) —
-        the deduplication key the fuzz oracle shares programs under.
+        same program (backend, executor and cache sizing do not affect
+        translation) — the deduplication key the fuzz oracle shares
+        programs under.
         """
         return (
             self.strategy,
@@ -229,6 +245,7 @@ class EngineConfig:
             "optimize_level": self.optimize_level,
             "dialect": None if self.dialect is None else self.dialect.value,
             "backend": self.backend,
+            "executor": self.executor,
             "use_small_seed": self.use_small_seed,
             "push_selections": self.push_selections,
             "select_root": self.select_root,

@@ -73,10 +73,21 @@ def create_backend(name: object, database: Database, **options: object) -> Backe
     ``name`` is either a registered backend name or an
     :class:`~repro.api.EngineConfig` (anything with a ``backend``
     attribute), in which case the config's backend is used — the facade and
-    service layers pass their config straight through.
+    service layers pass their config straight through.  When a config is
+    passed, every field named in the backend class's
+    :attr:`~repro.backends.base.Backend.config_options` is copied into the
+    constructor keywords (the memory backend picks up ``executor`` this
+    way); explicit ``options`` win over config-derived ones.
     """
+    config = None
     if not isinstance(name, str):
+        config = name
         name = getattr(name, "backend", name)
     if not isinstance(name, str):
         raise ValueError(f"backend must be a name or an EngineConfig, got {name!r}")
-    return _backend_class(name)(database, **options)
+    cls = _backend_class(name)
+    if config is not None:
+        for option in cls.config_options:
+            if option not in options and hasattr(config, option):
+                options[option] = getattr(config, option)
+    return cls(database, **options)

@@ -127,6 +127,12 @@ class Backend(abc.ABC):
     dialect: SQLDialect = SQLDialect.GENERIC
     #: True when instances must not cross a process boundary (see class doc).
     process_affine: bool = False
+    #: Names of :class:`~repro.api.EngineConfig` fields this backend consumes
+    #: as constructor keywords.  :func:`repro.backends.create_backend` copies
+    #: them off the config when one is passed in place of a backend name —
+    #: how per-backend knobs (the memory backend's ``executor``) reach the
+    #: instance without every backend growing every knob.
+    config_options: Tuple[str, ...] = ()
 
     def __init__(self, database: Database) -> None:
         self._database = database

@@ -1,4 +1,4 @@
-"""The in-memory backend: an adapter over the hash-join/LFP executor."""
+"""The in-memory backend: an adapter over the relational executors."""
 
 from __future__ import annotations
 
@@ -7,6 +7,12 @@ from typing import Dict
 from repro import obs
 from repro.backends.base import Backend, BackendResult, normalize_rows
 from repro.relational.algebra import Program
+from repro.relational.columnar import (
+    DEFAULT_EXECUTOR,
+    EXECUTOR_NAMES,
+    ColumnarExecutor,
+    columnar_store,
+)
 from repro.relational.database import Database
 from repro.relational.executor import Executor
 from repro.relational.sqlgen import SQLDialect
@@ -15,11 +21,22 @@ __all__ = ["MemoryBackend"]
 
 
 class MemoryBackend(Backend):
-    """Execute programs on the pure-Python engine of ``relational.executor``.
+    """Execute programs on the pure-Python engines of ``repro.relational``.
 
-    Every :meth:`execute` call builds a fresh :class:`Executor` over the
-    (immutable after shredding) database, so concurrent calls from many
-    threads are lock-free reads — there is no shared mutable state.
+    Two executors are available, selected by the ``executor`` option (the
+    :attr:`~repro.api.EngineConfig.executor` knob):
+
+    * ``columnar`` (default) — the batched operator-at-a-time engine of
+      :mod:`repro.relational.columnar`.  The backend resolves the shared
+      dictionary-encoded store up front, so the per-call path only pays for
+      operator evaluation;
+    * ``tuple`` — the original row-at-a-time hash-join/LFP engine, kept as
+      the differential oracle's baseline arm.
+
+    Every :meth:`execute` call builds a fresh executor over the (immutable
+    after shredding) database, so concurrent calls from many threads are
+    lock-free reads — there is no shared mutable state outside the
+    append-only columnar store.
 
     Parameters
     ----------
@@ -28,18 +45,43 @@ class MemoryBackend(Backend):
     lazy:
         Evaluation strategy: lazy/top-down (default, the paper's strategy)
         or eager assignment-by-assignment.
+    executor:
+        ``"columnar"`` or ``"tuple"`` (see above).
     """
 
     name = "memory"
     dialect = SQLDialect.GENERIC
+    config_options = ("executor",)
 
-    def __init__(self, database: Database, lazy: bool = True) -> None:
+    def __init__(
+        self, database: Database, lazy: bool = True, executor: str = DEFAULT_EXECUTOR
+    ) -> None:
         super().__init__(database)
         self._lazy = lazy
+        if executor not in EXECUTOR_NAMES:
+            known = ", ".join(sorted(EXECUTOR_NAMES))
+            raise ValueError(f"unknown executor {executor!r} (known: {known})")
+        self._executor_name = executor
+        if executor == "columnar":
+            # Encode the store eagerly so the (amortised) dictionary-encoding
+            # cost is paid at registration time, not on the first query.
+            columnar_store(database)
+
+    @property
+    def executor(self) -> str:
+        """The configured executor name (``columnar`` or ``tuple``)."""
+        return self._executor_name
 
     def execute(self, program: Program) -> BackendResult:
-        with obs.span("execute", backend=self.name) as sp:
-            executor = Executor(self._database, lazy=self._lazy)
+        with obs.span("execute", backend=self.name, executor=self._executor_name) as sp:
+            if self._executor_name == "columnar":
+                # Re-resolve per call: the store rebuilds itself if the
+                # database mutated since registration (version counter).
+                executor = ColumnarExecutor(
+                    columnar_store(self._database), lazy=self._lazy
+                )
+            else:
+                executor = Executor(self._database, lazy=self._lazy)
             relation = executor.run(program)
             stats: Dict[str, float] = executor.stats.as_dict()
             stats["rows"] = len(relation)

@@ -64,9 +64,16 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     auto-strategy scenarios) and optionally write the ``BENCH_4.json``
     report (``--out``).
 
+``bench-executor``
+    Compare the columnar batch executor against the tuple-at-a-time
+    executor on the memory backend (warm-plan steady state over the
+    BENCH_3 workloads plus a fuzz-sweep scenario) and optionally write
+    the ``BENCH_6.json`` report (``--out``).
+
 The engine-configuration flags (``--strategy``, ``--dialect``,
-``--backend``, ``--optimize-level``, ``--push-selections``) are declared
-once in the shared :func:`_engine_flags` parent parser; each subcommand
+``--backend``, ``--executor``, ``--optimize-level``,
+``--push-selections``) are declared once in the shared
+:func:`_engine_flags` parent parser; each subcommand
 composes the subset it needs, and handlers convert the parsed flags into
 one :class:`~repro.api.EngineConfig` via :func:`engine_config_from_args`.
 Most query-translating subcommands take ``--optimize-level {0,1,2}``
@@ -118,6 +125,8 @@ Examples
     python -m repro serve cross --port 8080 --workers 2 --documents 3
     python -m repro loadtest --port 8080 --budget 1000 --concurrency 50
     python -m repro bench-serving --quick --out BENCH_5.json
+    python -m repro bench-executor --quick --out BENCH_6.json
+    python -m repro answer cross "a//d" --executor tuple
     python -m repro experiment exp5
     python -m repro experiment exp3 --quick --backend sqlite
     python -m repro experiment exp1 --quick --seed 7 --elements 800
@@ -136,8 +145,9 @@ import sys
 from typing import List, Optional
 
 from repro import obs
-from repro.api.config import EngineConfig, dialect_names, strategy_names
+from repro.api.config import EngineConfig, dialect_names, executor_names, strategy_names
 from repro.backends import backend_names
+from repro.relational.columnar import DEFAULT_EXECUTOR
 from repro.core.optimize import OPTIMIZE_LEVELS
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.dtd.model import DTD
@@ -196,6 +206,11 @@ def _engine_flags(
             "--backend", choices=backend_names(), default="memory",
             help="execution backend (default: memory)",
         )
+        group.add_argument(
+            "--executor", choices=executor_names(), default=None,
+            help="in-memory execution engine (default: columnar; "
+            "only the memory backend consumes it)",
+        )
     if optimize:
         group.add_argument(
             "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
@@ -221,6 +236,7 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         optimize_level=getattr(args, "optimize_level", None),
         dialect=getattr(args, "dialect", None),
         backend=getattr(args, "backend", None) or "memory",
+        executor=getattr(args, "executor", None) or DEFAULT_EXECUTOR,
         push_selections=bool(getattr(args, "push_selections", False)),
     )
 
@@ -501,6 +517,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serving.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the JSON report (BENCH_5.json format) to PATH",
+    )
+
+    bench_executor = commands.add_parser(
+        "bench-executor",
+        help="measure the columnar vs tuple executor on the memory backend",
+    )
+    bench_executor.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget (default: 1200, or the --quick budget)",
+    )
+    bench_executor.add_argument(
+        "--repeats", type=int, default=None,
+        help="warm-pass repetitions per executor (default: 5, or the --quick budget)",
+    )
+    bench_executor.add_argument(
+        "--fuzz-budget", type=int, default=None,
+        help="cases of the fuzz-sweep scenario (default: 40, or the --quick budget)",
+    )
+    bench_executor.add_argument(
+        "--quick", action="store_true",
+        help="tiny-budget defaults (CI smoke); explicit flags still override",
+    )
+    bench_executor.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report (BENCH_6.json format) to PATH",
     )
 
     bench_optimizer = commands.add_parser(
@@ -1032,6 +1073,37 @@ def _cmd_bench_optimizer(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_bench_executor(args: argparse.Namespace) -> int:
+    from repro.service.execbench import (
+        ExecutorBenchConfig,
+        describe_report,
+        run_executor_benchmark,
+        write_report,
+    )
+
+    from dataclasses import replace
+
+    config = ExecutorBenchConfig.quick() if args.quick else ExecutorBenchConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("elements", args.elements),
+            ("repeats", args.repeats),
+            ("fuzz_budget", args.fuzz_budget),
+        )
+        if value is not None
+    }
+    if any(value < 1 for value in overrides.values()):
+        raise SystemExit("--elements, --repeats and --fuzz-budget must be >= 1")
+    config = replace(config, **overrides)
+    report = run_executor_benchmark(config)
+    print(describe_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1052,6 +1124,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "bench-service": _cmd_bench_service,
         "bench-serving": _cmd_bench_serving,
+        "bench-executor": _cmd_bench_executor,
         "bench-optimizer": _cmd_bench_optimizer,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,

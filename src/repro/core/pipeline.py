@@ -42,6 +42,7 @@ from repro.dtd.model import DTD
 from repro.expath.ast import ExtendedXPathQuery
 from repro.expath.metrics import OperatorCounts, count_operators
 from repro.relational.algebra import OperatorProfile, Program
+from repro.relational.columnar import ColumnarExecutor
 from repro.relational.executor import ExecutionStats, Executor
 from repro.relational.relation import Relation
 from repro.relational.schema import T as T_COLUMN
@@ -366,9 +367,16 @@ class XPathToSQLTranslator:
     def execute(
         self, query: QueryLike, shredded: ShreddedDocument, lazy: bool = True
     ) -> tuple:
-        """Translate and execute; returns ``(result relation, execution stats)``."""
+        """Translate and execute; returns ``(result relation, execution stats)``.
+
+        The executor is picked by the config's ``executor`` knob: the
+        columnar batch engine (default) or the tuple-at-a-time engine.
+        """
         result = self.translate(query)
-        executor = Executor(shredded.database, lazy=lazy)
+        if self._config.executor == "columnar":
+            executor: object = ColumnarExecutor(shredded.database, lazy=lazy)
+        else:
+            executor = Executor(shredded.database, lazy=lazy)
         relation = executor.run(result.program)
         return relation, executor.stats
 

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.api.config import EngineConfig
 from repro.backends import create_backend
+from repro.relational.columnar import DEFAULT_EXECUTOR
 from repro.core.expath_to_sql import TranslationOptions
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.core.xpath_to_expath import DescendantStrategy
@@ -69,6 +70,7 @@ class EngineSpec:
         strategy: Optional[DescendantStrategy] = None,
         optimized: bool = True,
         optimize_level: Optional[int] = None,
+        executor: Optional[str] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         if config is None:
@@ -78,10 +80,11 @@ class EngineSpec:
                 backend=backend,
                 strategy=strategy,
                 optimize_level=optimize_level,
+                executor=DEFAULT_EXECUTOR if executor is None else executor,
                 use_small_seed=bool(optimized),
                 push_selections=bool(optimized),
             )
-        elif backend is not None or strategy is not None:
+        elif backend is not None or strategy is not None or executor is not None:
             raise ValueError("pass either config= or backend/strategy, not both")
         object.__setattr__(self, "_config", config)
 
@@ -114,10 +117,22 @@ class EngineSpec:
         return self._config.optimize_level
 
     @property
+    def executor(self) -> str:
+        """The in-memory executor this engine runs on."""
+        return self._config.executor
+
+    @property
     def name(self) -> str:
-        """Display name, e.g. ``memory/cycleex/opt`` or ``memory/auto/opt/O0``."""
+        """Display name, e.g. ``memory/cycleex/opt`` or ``memory/auto/opt/O0``.
+
+        A non-default executor shows up as a trailing segment
+        (``memory/cycleex/opt/tuple``), so the historical grid names are
+        unchanged.
+        """
         level = "opt" if self.optimized else "baseline"
         suffix = "" if self.optimize_level is None else f"/O{self.optimize_level}"
+        if self.executor != DEFAULT_EXECUTOR:
+            suffix += f"/{self.executor}"
         return f"{self.backend}/{self.strategy.value}/{level}{suffix}"
 
     def options(self) -> TranslationOptions:
@@ -152,13 +167,16 @@ def default_engines(
 
     Every concrete strategy plus ``auto`` takes part, so the per-query
     strategy selector is fuzzed alongside the strategies it chooses from.
-    SQLite runs each strategy once (optimised) — the dialect rendering and
-    real ``WITH RECURSIVE`` execution are what it adds; the lowering-
-    optimisation axis is already covered in memory.  ``optimize_level``
-    pins the program-optimizer level of every engine (default: the
-    pipeline default); the memory/cycleex pair additionally always runs at
-    level 0, so optimizer rewrites are differentially checked against raw
-    lowering output in every sweep.
+    The memory engines run on the (default) columnar executor; each
+    strategy's ``opt`` point additionally runs on the tuple executor
+    (``.../opt/tuple``), so the two in-memory engines differentially check
+    each other on every case.  SQLite runs each strategy once (optimised) —
+    the dialect rendering and real ``WITH RECURSIVE`` execution are what it
+    adds; the lowering-optimisation axis is already covered in memory.
+    ``optimize_level`` pins the program-optimizer level of every engine
+    (default: the pipeline default); the memory/cycleex pair additionally
+    always runs at level 0, so optimizer rewrites are differentially
+    checked against raw lowering output in every sweep.
     """
     backends = list(backends or ("memory", "sqlite"))
     strategies = list(strategies or DescendantStrategy)
@@ -170,6 +188,17 @@ def default_engines(
             )
             engines.append(
                 EngineSpec("memory", strategy, optimized=True, optimize_level=optimize_level)
+            )
+            # The tuple-executor oracle arm: same plans, row-at-a-time
+            # engine, so executor rewrites are cross-checked everywhere.
+            engines.append(
+                EngineSpec(
+                    "memory",
+                    strategy,
+                    optimized=True,
+                    optimize_level=optimize_level,
+                    executor="tuple",
+                )
             )
         if optimize_level != 0:
             # The unoptimized-program sentinel: raw lowering output.
@@ -271,7 +300,7 @@ class DifferentialOracle:
             outcome.setup_error = traceback.format_exc(limit=3).strip()
             return outcome
 
-        backends: Dict[str, object] = {}
+        backends: Dict[Tuple[str, str], object] = {}
         # Engines whose configs share a translation signature run the very
         # same program (e.g. memory/opt and sqlite/opt), so translate each
         # point once.
@@ -281,10 +310,11 @@ class DifferentialOracle:
                 timer = obs.Timer()
                 try:
                     with timer:
-                        backend = backends.get(engine.backend)
+                        backend_key = (engine.backend, engine.executor)
+                        backend = backends.get(backend_key)
                         if backend is None:
-                            backend = create_backend(engine.backend, shredded.database)
-                            backends[engine.backend] = backend
+                            backend = create_backend(engine.config, shredded.database)
+                            backends[backend_key] = backend
                         program_key = engine.config.translation_signature()
                         program = programs.get(program_key)
                         if program is None:

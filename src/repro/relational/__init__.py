@@ -13,7 +13,9 @@ substrate the translation targets:
   recursive union** used by the SQLGen-R baseline
   (:mod:`repro.relational.algebra`),
 * an executor with lazy (top-down) and eager evaluation strategies
-  (:mod:`repro.relational.executor`), and
+  (:mod:`repro.relational.executor`), plus a columnar operator-at-a-time
+  executor over dictionary-encoded column arrays
+  (:mod:`repro.relational.columnar`), and
 * a SQL text emitter so every translated program can be inspected as real
   SQL in generic, Oracle CONNECT BY or DB2 recursive-CTE dialects
   (:mod:`repro.relational.sqlgen`).
@@ -43,6 +45,15 @@ from repro.relational.algebra import (
     Union,
 )
 from repro.relational.executor import ExecutionStats, Executor, execute_program
+from repro.relational.columnar import (
+    DEFAULT_EXECUTOR,
+    EXECUTOR_NAMES,
+    ColumnarDatabase,
+    ColumnarExecutor,
+    ColumnarRelation,
+    ValueDictionary,
+    columnar_store,
+)
 from repro.relational.sqlgen import SQLDialect, program_to_sql
 
 __all__ = [
@@ -71,6 +82,13 @@ __all__ = [
     "Executor",
     "ExecutionStats",
     "execute_program",
+    "ColumnarRelation",
+    "ColumnarDatabase",
+    "ColumnarExecutor",
+    "ValueDictionary",
+    "columnar_store",
+    "EXECUTOR_NAMES",
+    "DEFAULT_EXECUTOR",
     "SQLDialect",
     "program_to_sql",
 ]

@@ -21,6 +21,7 @@ class Database:
 
     def __init__(self, schema: DatabaseSchema, relations: Optional[Mapping[str, Relation]] = None) -> None:
         self._schema = schema
+        self._version = 0
         self._relations: Dict[str, Relation] = {}
         for name in schema.relation_names:
             self._relations[name] = Relation(schema.relation(name).columns, name=name)
@@ -33,6 +34,15 @@ class Database:
     def schema(self) -> DatabaseSchema:
         """The database schema."""
         return self._schema
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every :meth:`set_relation`.
+
+        Derived structures (the columnar store's dictionary-encoded copy)
+        snapshot this to detect staleness instead of re-encoding per use.
+        """
+        return self._version
 
     def relation(self, name: str) -> Relation:
         """Return the relation named ``name``."""
@@ -50,6 +60,7 @@ class Database:
                 f"got {list(relation.columns)}"
             )
         self._relations[name] = relation.copy(name=name)
+        self._version += 1
 
     def __getitem__(self, name: str) -> Relation:
         return self.relation(name)
@@ -63,6 +74,13 @@ class Database:
     def __repr__(self) -> str:
         sizes = {name: len(rel) for name, rel in self._relations.items()}
         return f"Database({sizes})"
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The columnar store is a derived cache (and holds a lock); each
+        # process rebuilds it lazily rather than shipping it across pickles.
+        state = dict(self.__dict__)
+        state.pop("_columnar_store", None)
+        return state
 
     def total_rows(self) -> int:
         """Total number of rows across all base relations."""

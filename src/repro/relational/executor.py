@@ -72,6 +72,16 @@ class ExecutionStats:
             "elapsed_seconds": self.elapsed_seconds,
         }
 
+    def reset(self) -> None:
+        """Zero every counter (called at the start of each ``run``)."""
+        self.fixpoint_iterations = 0
+        self.recursive_union_iterations = 0
+        self.join_output_rows = 0
+        self.union_output_rows = 0
+        self.tuples_materialized = 0
+        self.temporaries_evaluated = 0
+        self.elapsed_seconds = 0.0
+
 
 class Executor:
     """Evaluate relational-algebra expressions and programs over a database."""
@@ -85,7 +95,13 @@ class Executor:
     # -- public API -------------------------------------------------------------
 
     def run(self, program: Program) -> Relation:
-        """Execute a program and return the result relation."""
+        """Execute a program and return the result relation.
+
+        ``stats`` is reset first, so a reused executor reports per-run
+        numbers instead of silently accumulating across runs (the
+        repeated-measurement harnesses depend on this).
+        """
+        self.stats.reset()
         start = time.perf_counter()
         temps: Dict[str, Relation] = {}
         if self._lazy:

@@ -16,6 +16,19 @@ __all__ = ["Relation"]
 Row = Tuple
 
 
+def _value_sort_key(value) -> Tuple[int, float, str]:
+    """Type-tagged sort key: None, then numbers numerically, then by string."""
+    if value is None:
+        return (0, 0.0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value, "")
+    return (2, 0.0, str(value))
+
+
+def _row_sort_key(row: "Row") -> Tuple[Tuple[int, float, str], ...]:
+    return tuple(_value_sort_key(v) for v in row)
+
+
 class Relation:
     """An in-memory relation with named columns and set semantics.
 
@@ -48,6 +61,22 @@ class Relation:
                     f"{name or '<anonymous>'} has {width} columns"
                 )
             self._rows.add(tuple(row))
+
+    @classmethod
+    def _from_parts(
+        cls, columns: Tuple[str, ...], rows: Set[Row], name: str = ""
+    ) -> "Relation":
+        """Engine-internal constructor: adopt ``rows`` without re-validation.
+
+        The columnar executor decodes result sets whose arity is correct by
+        construction; skipping the per-row width check avoids a full pass
+        over the result on every call.  ``rows`` is adopted, not copied.
+        """
+        relation = cls.__new__(cls)
+        relation._columns = columns
+        relation._rows = rows
+        relation.name = name
+        return relation
 
     # -- accessors --------------------------------------------------------------
 
@@ -108,8 +137,14 @@ class Relation:
         index = self.column_index(column)
         return {row[index] for row in self._rows}
 
-    def project(self, columns: Sequence[str], distinct: bool = True) -> "Relation":
-        """Return the projection onto ``columns`` (renames are not applied here)."""
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Return the projection onto ``columns`` (renames are not applied here).
+
+        Set semantics throughout: duplicate projected rows collapse, like
+        every other operation on a :class:`Relation`.  (An earlier signature
+        took a ``distinct`` flag that was silently ignored — there is no
+        multiset path in this engine.)
+        """
         indexes = [self.column_index(c) for c in columns]
         rows = {tuple(row[i] for i in indexes) for row in self._rows}
         return Relation(columns, rows)
@@ -132,5 +167,11 @@ class Relation:
         return Relation(self._columns, set(self._rows), name=name or self.name)
 
     def sorted_rows(self) -> List[Row]:
-        """Rows sorted lexicographically (stable output for tests and reports)."""
-        return sorted(self._rows, key=lambda row: tuple(str(v) for v in row))
+        """Rows in a stable, type-aware order (for tests, reports, shrinker output).
+
+        Each value sorts by ``(type_tag, value)`` — None first, then numbers
+        numerically, then everything else by string form — so node ids order
+        as ``2 < 10`` rather than by their string forms (``"10" < "2"``),
+        and mixed-type rows still compare without a ``TypeError``.
+        """
+        return sorted(self._rows, key=_row_sort_key)

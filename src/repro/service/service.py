@@ -323,7 +323,7 @@ class QueryService:
         store = DocumentStore(
             document_id=document_id,
             shredded=shredded,
-            backend=create_backend(self._backend_name, shredded.database),
+            backend=create_backend(self._config, shredded.database),
             prepared_capacity=self._prepared_capacity,
             result_capacity=self._result_capacity,
         )

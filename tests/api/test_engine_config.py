@@ -1,7 +1,7 @@
 """:class:`EngineConfig` contract tests: validation, immutability, round-trips.
 
 The Issue 5 satellite: ``from_dict(to_dict(c)) == c`` across the full
-default fuzz-engine grid (13 engines), invalid values raise
+default fuzz-engine grid (17 engines), invalid values raise
 :class:`~repro.errors.ConfigError`, and :meth:`with_` never mutates the
 original.
 """
@@ -126,9 +126,9 @@ class TestSerializationRoundTrips:
         assert EngineConfig.from_dict(json.loads(wire)) == config
 
     def test_round_trip_full_fuzz_grid(self):
-        """Every engine of the default 13-engine grid round-trips exactly."""
+        """Every engine of the default 17-engine grid round-trips exactly."""
         engines = default_engines()
-        assert len(engines) == 13
+        assert len(engines) == 17
         for engine in engines:
             config = engine.config
             assert EngineConfig.from_dict(config.to_dict()) == config, engine.name

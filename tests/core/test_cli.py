@@ -191,19 +191,20 @@ class TestFuzzCommand:
             main(["fuzz", "--backends", "nope"])
 
     def test_engine_axes_are_honoured(self, capsys):
-        # baseline + opt at the default level, plus the level-0 sentinel.
+        # baseline + opt at the default level, the opt/tuple executor arm,
+        # plus the level-0 sentinel.
         assert main(
             ["fuzz", "--seed", "1", "--budget", "4", "--strategies", "cycleex",
              "--backends", "memory"]
         ) == 0
-        assert "engines=3" in capsys.readouterr().out
+        assert "engines=4" in capsys.readouterr().out
 
     def test_optimize_level_pin_drops_the_sentinel(self, capsys):
         assert main(
             ["fuzz", "--seed", "1", "--budget", "4", "--strategies", "cycleex",
              "--backends", "memory", "--optimize-level", "0"]
         ) == 0
-        assert "engines=2" in capsys.readouterr().out
+        assert "engines=3" in capsys.readouterr().out
 
     def test_failures_saved_and_exit_nonzero(self, injected_sqlite_bug, tmp_path, capsys):
         corpus = tmp_path / "failures"

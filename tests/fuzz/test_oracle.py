@@ -44,6 +44,8 @@ class TestEngineGrid:
         assert [engine.name for engine in engines] == [
             "memory/cycleex/baseline",
             "memory/cycleex/opt",
+            # The tuple-executor oracle arm: same plans, row-at-a-time engine.
+            "memory/cycleex/opt/tuple",
             # The raw-lowering sentinel: optimizer level pinned to 0 so every
             # sweep differentially checks the optimizer passes themselves.
             "memory/cycleex/opt/O0",
@@ -58,7 +60,21 @@ class TestEngineGrid:
         assert [engine.name for engine in engines] == [
             "memory/cycleex/baseline/O0",
             "memory/cycleex/opt/O0",
+            "memory/cycleex/opt/O0/tuple",
         ]
+
+    def test_default_grid_runs_both_executors(self):
+        engines = default_engines()
+        by_executor = {
+            engine.executor for engine in engines if engine.backend == "memory"
+        }
+        assert by_executor == {"columnar", "tuple"}
+        # SQLite arms don't consume the knob; the grid doesn't duplicate them.
+        assert all(
+            engine.executor == "columnar"
+            for engine in engines
+            if engine.backend == "sqlite"
+        )
 
 
 class TestOracle:

@@ -252,3 +252,29 @@ class TestProgramsAndStrategies:
         as_dict = stats.as_dict()
         assert as_dict["temporaries_evaluated"] == 1
         assert as_dict["elapsed_seconds"] >= 0
+
+    def test_reused_executor_reports_per_run_stats(self, database):
+        # Issue 8 satellite: ``run`` used to accumulate into ``self.stats``
+        # forever, so a reused executor double-counted iterations/tuples in
+        # repeated-measurement harnesses.  Two identical runs must now
+        # report identical (per-run) numbers.
+        program = Program(
+            [Assignment("closure", Fixpoint(Union((Scan("R_a"), Scan("R_b")))))],
+            Scan("closure"),
+        )
+        executor = Executor(database)
+        executor.run(program)
+        first = executor.stats.as_dict()
+        executor.run(program)
+        second = executor.stats.as_dict()
+        assert first["fixpoint_iterations"] > 0
+        assert first["temporaries_evaluated"] == 1
+        for counter in (
+            "fixpoint_iterations",
+            "recursive_union_iterations",
+            "join_output_rows",
+            "union_output_rows",
+            "tuples_materialized",
+            "temporaries_evaluated",
+        ):
+            assert second[counter] == first[counter], counter

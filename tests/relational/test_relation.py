@@ -78,3 +78,39 @@ class TestOperations:
 
     def test_sorted_rows_deterministic(self, edges):
         assert edges.sorted_rows() == sorted(edges.rows, key=lambda r: tuple(str(v) for v in r))
+
+
+class TestIssue8Regressions:
+    """The Issue 8 executor-correctness satellites, pinned."""
+
+    def test_project_no_longer_takes_a_distinct_flag(self, edges):
+        # The old ``distinct=False`` parameter was dead code: the projection
+        # always deduplicated (sets all the way down).  The parameter is
+        # gone, so passing it is a loud TypeError instead of a silent lie.
+        with pytest.raises(TypeError):
+            edges.project(("F",), distinct=False)
+        with pytest.raises(TypeError):
+            edges.project(("F",), True)
+
+    def test_project_is_always_distinct(self, edges):
+        projected = edges.project(("F",))
+        assert len(projected) == 2  # three edges, two distinct origins
+
+    def test_sorted_rows_orders_node_ids_numerically(self):
+        relation = Relation(("T",), {(2,), (10,), (1,)})
+        assert relation.sorted_rows() == [(1,), (2,), (10,)]
+        # The old key sorted by str(), which put ("10",) before ("2",).
+        assert relation.sorted_rows() != sorted(
+            relation.rows, key=lambda r: tuple(str(v) for v in r)
+        )
+
+    def test_sorted_rows_mixed_types_do_not_raise(self):
+        # Shredded relations mix int node ids with string values and "_"
+        # sentinels; Python cannot order int < str natively.
+        relation = Relation(("F", "T"), {("_", 10), (3, 2), (None, 1), (2.5, 0)})
+        rows = relation.sorted_rows()
+        assert rows == [(None, 1), (2.5, 0), (3, 2), ("_", 10)]
+
+    def test_sorted_rows_numbers_before_strings(self):
+        relation = Relation(("V",), {("a-1",), (7,), ("_",), (0,)})
+        assert relation.sorted_rows() == [(0,), (7,), ("_",), ("a-1",)]
