@@ -1,0 +1,89 @@
+"""Benchmark: single-statement emission + interval strategy — the Issue 7 baseline.
+
+Runs the shared harness of :mod:`repro.backends.emissionbench` (the same
+scenarios ``repro bench-emission`` measures) and writes ``BENCH_7.json``
+at the repo root, alongside the earlier baselines.
+
+Asserted here (the Issue 7 acceptance bar):
+
+* every scenario's answers are node-for-node identical across everything
+  compared (``results_match``) — a benchmark that got faster by being
+  wrong must fail loudly;
+* single-statement emission really collapses the per-query round trips:
+  every workload's ``statement_reduction`` is **≥ 5x** (the committed
+  baseline shows 17-44x), and the fused plan is not slower than the
+  multi-statement one on any workload;
+* the interval strategy beats CycleEX on the recursive workloads (the
+  committed baseline shows ~1.5-1.8x) — the whole point of the encoding
+  is that a range-predicate join over ``DOC_ORDER`` outruns fixpoint
+  unfolding once the document is non-trivial.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.backends.emissionbench import (
+    EmissionBenchConfig,
+    run_emission_benchmark,
+    write_report,
+)
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+
+BENCH_CONFIG = EmissionBenchConfig(elements=1200, repeats=5)
+
+# Acceptance bars; the committed baseline clears both severalfold, so CI
+# timer noise has plenty of headroom.
+MIN_STATEMENT_REDUCTION = 5.0
+MIN_INTERVAL_SPEEDUP = 1.0
+
+
+@pytest.fixture(scope="module")
+def emission_report():
+    return run_emission_benchmark(BENCH_CONFIG)
+
+
+def test_writes_bench_7_json(emission_report):
+    write_report(emission_report, str(REPORT_PATH))
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["bench"] == "single-statement-emission"
+    assert on_disk["issue"] == 7
+    assert set(on_disk["scenarios"]) == {"round_trip", "interval"}
+
+
+def test_every_scenario_returns_identical_results(emission_report):
+    scenarios = emission_report["scenarios"]
+    assert scenarios["round_trip"]["results_match"] is True
+    for label, entry in scenarios["round_trip"]["workloads"].items():
+        assert entry["results_match"] is True, label
+    for label, entry in scenarios["interval"]["workloads"].items():
+        assert entry["results_match"] is True, label
+    assert emission_report["ok"] is True
+
+
+def test_round_trips_collapse_on_every_workload(emission_report):
+    for label, entry in emission_report["scenarios"]["round_trip"]["workloads"].items():
+        assert entry["single_statements"] <= entry["queries"], label
+        assert entry["statement_reduction"] >= MIN_STATEMENT_REDUCTION, (
+            f"{label}: only {entry['statement_reduction']:.1f}x fewer statements "
+            f"({entry['multi_statements']} -> {entry['single_statements']})"
+        )
+
+
+def test_single_statement_is_not_slower(emission_report):
+    for label, entry in emission_report["scenarios"]["round_trip"]["workloads"].items():
+        assert entry["speedup"] >= MIN_INTERVAL_SPEEDUP, (label, entry["speedup"])
+
+
+def test_interval_beats_cycleex_on_recursive_workloads(emission_report):
+    workloads = emission_report["scenarios"]["interval"]["workloads"]
+    assert set(workloads) == {"cross", "gedml"}
+    for label, entry in workloads.items():
+        assert entry["speedup_vs_cycleex"] >= MIN_INTERVAL_SPEEDUP, (
+            f"interval is only {entry['speedup_vs_cycleex']:.1f}x vs cycleex "
+            f"on {label} ({entry['seconds']})"
+        )

@@ -33,7 +33,7 @@ from repro.core.optimize import OPTIMIZE_LEVELS
 from repro.core.xpath_to_expath import DescendantStrategy
 from repro.errors import ConfigError
 from repro.relational.columnar import DEFAULT_EXECUTOR, executor_names
-from repro.relational.sqlgen import SQLDialect
+from repro.relational.sqlgen import EMISSION_MODES, SQLDialect
 
 __all__ = [
     "EngineConfig",
@@ -109,6 +109,13 @@ class EngineConfig:
         differential baseline).  Only the ``memory`` backend consumes it;
         plans are executor-independent, so it is excluded from
         :meth:`translation_signature`.
+    emission:
+        SQL statement shape on SQL backends: ``multi`` (default — one
+        ``CREATE TEMP TABLE`` statement per program assignment) or
+        ``single`` (the whole program fused into one ``WITH [RECURSIVE]``
+        statement).  The relational program is emission-independent, so it
+        is excluded from :meth:`translation_signature`; the ``memory``
+        backend ignores it.
     use_small_seed / push_selections / select_root:
         The Sect. 5.2 lowering options, flattened from
         :class:`~repro.core.expath_to_sql.TranslationOptions` so one object
@@ -143,6 +150,7 @@ class EngineConfig:
     dialect: Optional[SQLDialect] = None
     backend: str = "memory"
     executor: str = DEFAULT_EXECUTOR
+    emission: str = "multi"
     use_small_seed: bool = True
     push_selections: bool = False
     select_root: bool = True
@@ -172,6 +180,11 @@ class EngineConfig:
             raise ConfigError(
                 f"unknown executor {self.executor!r} "
                 f"(known: {', '.join(executor_names())})"
+            )
+        if self.emission not in EMISSION_MODES:
+            raise ConfigError(
+                f"unknown emission {self.emission!r} "
+                f"(known: {', '.join(EMISSION_MODES)})"
             )
         for flag in ("use_small_seed", "push_selections", "select_root", "observability"):
             if not isinstance(getattr(self, flag), bool):
@@ -246,6 +259,7 @@ class EngineConfig:
             "dialect": None if self.dialect is None else self.dialect.value,
             "backend": self.backend,
             "executor": self.executor,
+            "emission": self.emission,
             "use_small_seed": self.use_small_seed,
             "push_selections": self.push_selections,
             "select_root": self.select_root,
@@ -276,9 +290,10 @@ class EngineConfig:
     def describe(self) -> str:
         """Compact one-line rendering (CLI/benchmark labels)."""
         level = "default" if self.optimize_level is None else f"O{self.optimize_level}"
+        emission = "" if self.emission == "multi" else f"/emission={self.emission}"
         return (
             f"{self.backend}/{self.strategy.value}/{level}"
-            f"/dialect={self.resolved_dialect().value}"
+            f"/dialect={self.resolved_dialect().value}{emission}"
         )
 
 

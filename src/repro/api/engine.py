@@ -442,9 +442,14 @@ class Engine:
         """The SQL text ``query`` translates to.
 
         ``dialect`` defaults to the config's resolved dialect (the
-        backend's native one unless pinned).
+        backend's native one unless pinned); a config with
+        ``emission="single"`` renders the whole program as one fused
+        ``WITH [RECURSIVE]`` statement.
         """
-        return self.translate(query).sql(dialect or self._config.resolved_dialect())
+        return self.translate(query).sql(
+            dialect or self._config.resolved_dialect(),
+            emission=self._config.emission,
+        )
 
     def explain(self, query: QueryLike, timing: bool = False) -> str:
         """A human-readable plan summary: strategy, level, operator profile.
@@ -453,6 +458,11 @@ class Engine:
         (bypassing the plan cache) under a trace, and the summary ends
         with the per-phase span tree — where translation time actually
         went.
+
+        On the ``sqlite`` backend the summary also includes SQLite's
+        ``EXPLAIN QUERY PLAN`` of the whole query in its fused
+        single-statement form — the one place the complete join/recursion
+        plan is visible as one tree rather than per temp-table statements.
         """
         self._check_open()
         timing_root: Optional[obs.Span] = None
@@ -477,12 +487,35 @@ class Engine:
             "program:",
         ]
         lines.extend(f"  {line}" for line in str(result.program).splitlines())
+        if self._config.backend == "sqlite":
+            lines.append("sqlite plan (single statement):")
+            lines.extend(f"  {line}" for line in self._sqlite_plan(result.program))
         if timing_root is not None:
             lines.append("timing:")
             lines.extend(
                 f"  {line}" for line in obs.render_span_tree(timing_root).splitlines()
             )
         return "\n".join(lines)
+
+    def _sqlite_plan(self, program) -> List[str]:
+        """SQLite's ``EXPLAIN QUERY PLAN`` rows for the fused program.
+
+        Runs against an empty database with this DTD's schema — plan
+        shapes (scans, index use, recursion) are visible without any
+        document loaded.
+        """
+        from repro.backends.sqlite import SqliteBackend
+        from repro.errors import ExecutionError
+        from repro.relational.database import Database
+        from repro.shredding.inlining import SimpleMapping
+
+        backend = SqliteBackend(Database(SimpleMapping(self._dtd).database_schema()))
+        try:
+            return backend.explain_single(program)
+        except ExecutionError as exc:
+            return [f"unavailable: {exc}"]
+        finally:
+            backend.close()
 
     # -- sessions ---------------------------------------------------------------
 

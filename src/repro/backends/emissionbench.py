@@ -1,0 +1,264 @@
+"""The emission benchmark: single-statement fusion and the interval strategy.
+
+One harness feeds both ``repro bench-emission`` and
+``benchmarks/test_bench_emission.py`` (which writes the repo's perf
+baseline ``BENCH_7.json``), so the CLI smoke run in CI and the asserted
+benchmark measure exactly the same scenarios:
+
+``round_trip``
+    Multi-statement vs single-statement emission on SQLite, warm-plan
+    steady state: every paper workload query executes once per emission per
+    repeat on a real SQLite connection.  ``statements`` records how many
+    statements each emission sends per query — ``multi`` pays one
+    ``CREATE TEMP TABLE`` round trip per program assignment, ``single``
+    always sends exactly one fused ``WITH [RECURSIVE]`` statement — and
+    ``statement_reduction`` is the headline multi/single ratio.
+
+``interval``
+    The descendant-strategy head-to-head on the recursive workloads (cross
+    and gedml — the DTDs whose ``//`` steps need recursion): CycleEX,
+    CycleE and the interval range-join strategy each run the workload's
+    recursive queries on SQLite.  The interval strategy replaces fixpoint
+    unfolding with one range-predicate join over the ``DOC_ORDER``
+    pre/post/size table, so its program shape (and plan) is structurally
+    different; the scenario records per-strategy seconds and the interval
+    speedups against both baselines.
+
+Every scenario cross-checks node-for-node that all compared configurations
+returned identical answers (``results_match``) — a benchmark that got
+faster by being wrong must fail loudly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+import json
+
+from repro.api.config import EngineConfig
+from repro.backends import create_backend
+from repro.core.pipeline import XPathToSQLTranslator
+from repro.relational.sqlgen import EMISSION_MODES, SQLDialect, program_statements
+from repro.service.bench import ServiceBenchConfig, _workloads
+from repro.shredding.shredder import shred_document
+
+__all__ = [
+    "EmissionBenchConfig",
+    "describe_report",
+    "run_emission_benchmark",
+    "write_report",
+]
+
+BENCH_NAME = "single-statement-emission"
+BENCH_ISSUE = 7
+
+# The strategies of the head-to-head scenario; interval is the challenger.
+_HEAD_TO_HEAD = ("cycleex", "cyclee", "interval")
+# The recursive workloads (''//'' over a cyclic DTD region) — the only ones
+# where the descendant strategies produce different programs.
+_RECURSIVE_WORKLOADS = ("cross", "gedml")
+
+
+@dataclass(frozen=True)
+class EmissionBenchConfig:
+    """Knobs of one benchmark run (the defaults are the committed baseline)."""
+
+    elements: int = 1200
+    repeats: int = 5
+    seed: int = 11
+
+    @classmethod
+    def quick(cls) -> "EmissionBenchConfig":
+        """A tiny-budget configuration for CI smoke runs."""
+        return cls(elements=300, repeats=2)
+
+    def _service_config(self) -> ServiceBenchConfig:
+        """The BENCH_3 workload shapes this benchmark reuses."""
+        return ServiceBenchConfig(elements=self.elements, seed=self.seed)
+
+
+def _answer_ids(backend, program) -> FrozenSet[object]:
+    return frozenset(backend.execute(program).node_ids())
+
+
+def _bench_round_trip(config: EmissionBenchConfig) -> Dict[str, object]:
+    """Multi vs single emission on SQLite, per workload."""
+    workloads: Dict[str, object] = {}
+    for label, dtd, queries, tree in _workloads(config._service_config()):
+        shredded = shred_document(tree, dtd)
+        translator = XPathToSQLTranslator(
+            dtd, config=EngineConfig(backend="sqlite")
+        )
+        programs = {
+            name: translator.translate(query).program
+            for name, query in queries.items()
+        }
+        statements = {
+            "multi": sum(
+                len(program_statements(program, SQLDialect.SQLITE))
+                for program in programs.values()
+            ),
+            "single": len(programs),  # one fused statement per query
+        }
+        seconds: Dict[str, float] = {}
+        answers: Dict[str, Dict[str, FrozenSet[object]]] = {}
+        for emission in EMISSION_MODES:
+            backend = create_backend(
+                EngineConfig(backend="sqlite", emission=emission),
+                shredded.database,
+            )
+            try:
+                # Warm pass records answers for the match check.
+                answers[emission] = {
+                    name: _answer_ids(backend, program)
+                    for name, program in programs.items()
+                }
+                start = time.perf_counter()
+                for _ in range(config.repeats):
+                    for program in programs.values():
+                        backend.execute(program)
+                seconds[emission] = time.perf_counter() - start
+            finally:
+                backend.close()
+        workloads[label] = {
+            "queries": len(queries),
+            "calls": len(queries) * config.repeats,
+            "multi_statements": statements["multi"],
+            "single_statements": statements["single"],
+            "statement_reduction": (
+                statements["multi"] / statements["single"]
+                if statements["single"]
+                else 0.0
+            ),
+            "multi_seconds": seconds["multi"],
+            "single_seconds": seconds["single"],
+            "speedup": (
+                seconds["multi"] / seconds["single"] if seconds["single"] else 0.0
+            ),
+            "results_match": answers["multi"] == answers["single"],
+        }
+    return {
+        "workloads": workloads,
+        "results_match": all(w["results_match"] for w in workloads.values()),
+    }
+
+
+def _bench_interval(config: EmissionBenchConfig) -> Dict[str, object]:
+    """Interval vs CycleEX/CycleE on the recursive workloads, on SQLite."""
+    workloads: Dict[str, object] = {}
+    for label, dtd, queries, tree in _workloads(config._service_config()):
+        if label not in _RECURSIVE_WORKLOADS:
+            continue
+        recursive = {
+            name: query for name, query in queries.items() if "//" in query
+        }
+        if not recursive:
+            continue
+        shredded = shred_document(tree, dtd)
+        seconds: Dict[str, float] = {}
+        answers: Dict[str, Dict[str, FrozenSet[object]]] = {}
+        for strategy in _HEAD_TO_HEAD:
+            engine_config = EngineConfig(backend="sqlite", strategy=strategy)
+            translator = XPathToSQLTranslator(dtd, config=engine_config)
+            programs = {
+                name: translator.translate(query).program
+                for name, query in recursive.items()
+            }
+            backend = create_backend(engine_config, shredded.database)
+            try:
+                answers[strategy] = {
+                    name: _answer_ids(backend, program)
+                    for name, program in programs.items()
+                }
+                start = time.perf_counter()
+                for _ in range(config.repeats):
+                    for program in programs.values():
+                        backend.execute(program)
+                seconds[strategy] = time.perf_counter() - start
+            finally:
+                backend.close()
+        interval_seconds = seconds["interval"]
+        workloads[label] = {
+            "queries": len(recursive),
+            "calls": len(recursive) * config.repeats,
+            "seconds": seconds,
+            "speedup_vs_cycleex": (
+                seconds["cycleex"] / interval_seconds if interval_seconds else 0.0
+            ),
+            "speedup_vs_cyclee": (
+                seconds["cyclee"] / interval_seconds if interval_seconds else 0.0
+            ),
+            "results_match": all(
+                answers[strategy] == answers["cycleex"]
+                for strategy in _HEAD_TO_HEAD
+            ),
+        }
+    return {
+        "workloads": workloads,
+        "results_match": all(w["results_match"] for w in workloads.values()),
+    }
+
+
+def run_emission_benchmark(
+    config: Optional[EmissionBenchConfig] = None,
+) -> Dict[str, object]:
+    """Run every scenario and return the (JSON-serializable) report."""
+    config = config or EmissionBenchConfig()
+    report: Dict[str, object] = {
+        "bench": BENCH_NAME,
+        "issue": BENCH_ISSUE,
+        "created_unix": int(time.time()),
+        "config": asdict(config),
+        "scenarios": {
+            "round_trip": _bench_round_trip(config),
+            "interval": _bench_interval(config),
+        },
+    }
+    scenarios = report["scenarios"]
+    report["ok"] = bool(
+        scenarios["round_trip"]["results_match"]
+        and scenarios["interval"]["results_match"]
+    )
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write a report as pretty-printed JSON (the ``BENCH_7.json`` format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def describe_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI output)."""
+    scenarios = report["scenarios"]
+    round_trip = scenarios["round_trip"]
+    interval = scenarios["interval"]
+    lines: List[str] = [
+        f"emission benchmark ({report['bench']}, "
+        f"{report['config']['elements']} elements, "
+        f"{report['config']['repeats']} warm passes)"
+    ]
+    for label, entry in round_trip["workloads"].items():
+        lines.append(
+            f"  round trip [{label}]: {entry['multi_statements']} stmts "
+            f"-> {entry['single_statements']} stmts "
+            f"({entry['statement_reduction']:.1f}x fewer), "
+            f"multi {entry['multi_seconds']:.3f}s "
+            f"-> single {entry['single_seconds']:.3f}s "
+            f"({entry['speedup']:.1f}x, match={entry['results_match']})"
+        )
+    for label, entry in interval["workloads"].items():
+        seconds = entry["seconds"]
+        lines.append(
+            f"  interval [{label}]: cycleex {seconds['cycleex']:.3f}s, "
+            f"cyclee {seconds['cyclee']:.3f}s, "
+            f"interval {seconds['interval']:.3f}s "
+            f"({entry['speedup_vs_cycleex']:.1f}x vs cycleex, "
+            f"{entry['speedup_vs_cyclee']:.1f}x vs cyclee, "
+            f"match={entry['results_match']})"
+        )
+    lines.append(f"  ok={report['ok']}")
+    return "\n".join(lines)

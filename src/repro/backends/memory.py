@@ -8,6 +8,7 @@ from repro import obs
 from repro.backends.base import Backend, BackendResult, normalize_rows
 from repro.relational.algebra import Program
 from repro.relational.columnar import (
+    COLUMNAR_MIN_ROWS,
     DEFAULT_EXECUTOR,
     EXECUTOR_NAMES,
     ColumnarExecutor,
@@ -29,7 +30,11 @@ class MemoryBackend(Backend):
     * ``columnar`` (default) — the batched operator-at-a-time engine of
       :mod:`repro.relational.columnar`.  The backend resolves the shared
       dictionary-encoded store up front, so the per-call path only pays for
-      operator evaluation;
+      operator evaluation.  Databases smaller than
+      :data:`~repro.relational.columnar.COLUMNAR_MIN_ROWS` rows are routed
+      to the tuple engine instead: dictionary-encoding a handful of rows
+      costs more than the batched operators save, which showed up as a
+      ~0.9x cold-start regression on tiny fuzz documents (BENCH_6);
     * ``tuple`` — the original row-at-a-time hash-join/LFP engine, kept as
       the differential oracle's baseline arm.
 
@@ -62,7 +67,7 @@ class MemoryBackend(Backend):
             known = ", ".join(sorted(EXECUTOR_NAMES))
             raise ValueError(f"unknown executor {executor!r} (known: {known})")
         self._executor_name = executor
-        if executor == "columnar":
+        if executor == "columnar" and database.total_rows() >= COLUMNAR_MIN_ROWS:
             # Encode the store eagerly so the (amortised) dictionary-encoding
             # cost is paid at registration time, not on the first query.
             columnar_store(database)
@@ -72,9 +77,17 @@ class MemoryBackend(Backend):
         """The configured executor name (``columnar`` or ``tuple``)."""
         return self._executor_name
 
+    def _use_columnar(self) -> bool:
+        # Cold-start guard: below the threshold the tuple engine wins, and
+        # skipping dictionary encoding entirely keeps tiny documents cheap.
+        return (
+            self._executor_name == "columnar"
+            and self._database.total_rows() >= COLUMNAR_MIN_ROWS
+        )
+
     def execute(self, program: Program) -> BackendResult:
         with obs.span("execute", backend=self.name, executor=self._executor_name) as sp:
-            if self._executor_name == "columnar":
+            if self._use_columnar():
                 # Re-resolve per call: the store rebuilds itself if the
                 # database mutated since registration (version counter).
                 executor = ColumnarExecutor(

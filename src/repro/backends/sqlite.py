@@ -50,8 +50,16 @@ from repro.backends.base import Backend, BackendResult, PreparedProgram, normali
 from repro.errors import ExecutionError
 from repro.relational.algebra import Program
 from repro.relational.database import Database
-from repro.relational.schema import DatabaseSchema, F, NODE_COLUMNS, T, V
-from repro.relational.sqlgen import SQLDialect, program_statements, quote_identifier
+from repro.relational.schema import DOC_ORDER, DatabaseSchema, F, NODE_COLUMNS, PRE, T, V
+from repro.relational.sqlgen import (
+    EMISSION_MODES,
+    FUSED_SCAN_LIMIT,
+    SQLDialect,
+    fused_scan_count,
+    program_statements,
+    program_to_single_sql,
+    quote_identifier,
+)
 
 __all__ = ["SqliteBackend", "sqlite_schema_ddl", "IDENTITY_VIEW"]
 
@@ -80,9 +88,16 @@ def sqlite_schema_ddl(schema: DatabaseSchema) -> List[str]:
     statements: List[str] = []
     for name in schema.relation_names:
         relation = schema.relation(name)
-        columns = ", ".join(f"{_quoted(column)} TEXT" for column in relation.columns)
+        # The DOC_ORDER ranks must compare numerically — TEXT affinity would
+        # make '10' < '9' and silently break the interval range predicate.
+        numeric = set(relation.columns) - {T} if name == DOC_ORDER else set()
+        columns = ", ".join(
+            f"{_quoted(column)} {'INTEGER' if column in numeric else 'TEXT'}"
+            for column in relation.columns
+        )
         statements.append(f"CREATE TABLE {_quoted(name)} ({columns})")
-        for column in (F, T):
+        index_columns = (T, PRE) if name == DOC_ORDER else (F, T)
+        for column in index_columns:
             if relation.has_column(column):
                 statements.append(
                     f"CREATE INDEX {_quoted(f'idx_{name}_{column}')} "
@@ -121,10 +136,16 @@ class SqliteBackend(Backend):
         SQLite database path.  The default ``":memory:"`` becomes a unique
         shared-cache in-memory database so per-thread connections all see
         the same loaded tables.
+    emission:
+        ``"multi"`` (default) runs one statement per assignment plus the
+        result SELECT; ``"single"`` fuses the whole program into one
+        ``WITH RECURSIVE`` statement, so every query round-trips to SQLite
+        exactly once and needs no temp-table DDL or teardown.
     """
 
     name = "sqlite"
     dialect = SQLDialect.SQLITE
+    config_options = ("emission",)
     # Shared-cache URIs embed the pid and sqlite3 connections cannot cross a
     # fork/spawn boundary: instances are process-local and must be rebuilt in
     # each worker (the pool's worker initializers key off this flag).
@@ -132,8 +153,15 @@ class SqliteBackend(Backend):
 
     _instance_ids = itertools.count()
 
-    def __init__(self, database: Database, path: str = ":memory:") -> None:
+    def __init__(
+        self, database: Database, path: str = ":memory:", emission: str = "multi"
+    ) -> None:
         super().__init__(database)
+        if emission not in EMISSION_MODES:
+            raise ValueError(
+                f"emission must be one of {EMISSION_MODES}, got {emission!r}"
+            )
+        self._emission = emission
         self._pid = os.getpid()
         if path == ":memory:":
             self._uri = (
@@ -244,15 +272,61 @@ class SqliteBackend(Backend):
     # -- execution ---------------------------------------------------------------
 
     def prepare(self, program: Program) -> PreparedProgram:
-        """Prune and render once; repeated execution reuses the statements."""
+        """Prune and render once; repeated execution reuses the statements.
+
+        Single-statement emission falls back to the multi-statement plan for
+        programs whose CTE DAG would blow past SQLite's substitution limits
+        (see :func:`~repro.relational.sqlgen.fused_scan_count`): SQLite
+        copies every CTE reference at parse time and hard-caps references
+        per table at 65535, so a heavily shared 90-assignment program is
+        unfusable no matter how small its SQL text is.
+        """
         with obs.span("prepare", backend=self.name) as sp:
             pruned = program.pruned()
-            plan = _SqlitePlan(
-                statements=tuple(program_statements(pruned, SQLDialect.SQLITE)),
-                targets=tuple(assignment.target for assignment in pruned.assignments),
+            fuse = (
+                self._emission == "single"
+                and fused_scan_count(pruned) <= FUSED_SCAN_LIMIT
             )
+            if fuse:
+                # One fused WITH RECURSIVE statement: no temp-table targets,
+                # so _run_plan skips straight to the result fetch.
+                plan = _SqlitePlan(
+                    statements=(program_to_single_sql(pruned, SQLDialect.SQLITE),),
+                    targets=(),
+                )
+            else:
+                plan = _SqlitePlan(
+                    statements=tuple(program_statements(pruned, SQLDialect.SQLITE)),
+                    targets=tuple(
+                        assignment.target for assignment in pruned.assignments
+                    ),
+                )
             sp.set(statements=len(plan.statements))
         return PreparedProgram(backend=self.name, program=pruned, payload=plan)
+
+    def explain_single(self, program: Program) -> List[str]:
+        """``EXPLAIN QUERY PLAN`` lines for the fused single-statement form.
+
+        Only the single-statement emission has a *whole-query* plan — the
+        multi-statement script plans each temp table separately — so this is
+        rendered from the fused form regardless of the configured emission.
+        Raises :class:`~repro.errors.ExecutionError` when the program's CTE
+        DAG is too large to fuse (SQLite's substitution limits).
+        """
+        pruned = program.pruned()
+        if fused_scan_count(pruned) > FUSED_SCAN_LIMIT:
+            raise ExecutionError(
+                "program is too large to fuse into a single statement "
+                f"(> {FUSED_SCAN_LIMIT} substituted scans); "
+                "no whole-query plan is available"
+            )
+        sql = program_to_single_sql(pruned, SQLDialect.SQLITE)
+        cursor = self._conn().cursor()
+        try:
+            cursor.execute(f"EXPLAIN QUERY PLAN {sql}")
+            return [str(row[-1]) for row in cursor.fetchall()]
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"sqlite explain failed: {exc}") from exc
 
     def execute_prepared(self, prepared: PreparedProgram) -> BackendResult:
         """Run a prepared plan on this thread's connection, skipping render

@@ -70,6 +70,12 @@ Installed as ``python -m repro`` (see ``repro.__main__``).  Subcommands:
     BENCH_3 workloads plus a fuzz-sweep scenario) and optionally write
     the ``BENCH_6.json`` report (``--out``).
 
+``bench-emission``
+    Compare multi-statement vs single-statement SQL emission on SQLite
+    (statement round trips and wall time) and the interval descendant
+    strategy against CycleEX/CycleE on the recursive workloads, and
+    optionally write the ``BENCH_7.json`` report (``--out``).
+
 The engine-configuration flags (``--strategy``, ``--dialect``,
 ``--backend``, ``--executor``, ``--optimize-level``,
 ``--push-selections``) are declared once in the shared
@@ -126,7 +132,10 @@ Examples
     python -m repro loadtest --port 8080 --budget 1000 --concurrency 50
     python -m repro bench-serving --quick --out BENCH_5.json
     python -m repro bench-executor --quick --out BENCH_6.json
+    python -m repro bench-emission --quick --out BENCH_7.json
     python -m repro answer cross "a//d" --executor tuple
+    python -m repro answer cross "a//d" --backend sqlite --emission single
+    python -m repro translate cross "a//d" --strategy interval --dialect sqlite --emission single
     python -m repro experiment exp5
     python -m repro experiment exp3 --quick --backend sqlite
     python -m repro experiment exp1 --quick --seed 7 --elements 800
@@ -148,6 +157,7 @@ from repro import obs
 from repro.api.config import EngineConfig, dialect_names, executor_names, strategy_names
 from repro.backends import backend_names
 from repro.relational.columnar import DEFAULT_EXECUTOR
+from repro.relational.sqlgen import EMISSION_MODES
 from repro.core.optimize import OPTIMIZE_LEVELS
 from repro.core.pipeline import XPathToSQLTranslator
 from repro.dtd.model import DTD
@@ -180,6 +190,7 @@ def _engine_flags(
     backend: bool = False,
     optimize: bool = False,
     push_selections: bool = False,
+    emission: bool = False,
 ) -> argparse.ArgumentParser:
     """The shared parent parser for the engine-configuration flags.
 
@@ -211,6 +222,12 @@ def _engine_flags(
             help="in-memory execution engine (default: columnar; "
             "only the memory backend consumes it)",
         )
+    if backend or emission:
+        group.add_argument(
+            "--emission", choices=list(EMISSION_MODES), default=None,
+            help="SQL statement shape on SQL backends (default: multi; "
+            "single fuses the program into one WITH [RECURSIVE] statement)",
+        )
     if optimize:
         group.add_argument(
             "--optimize-level", type=int, choices=OPTIMIZE_LEVELS, default=None,
@@ -237,6 +254,7 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         dialect=getattr(args, "dialect", None),
         backend=getattr(args, "backend", None) or "memory",
         executor=getattr(args, "executor", None) or DEFAULT_EXECUTOR,
+        emission=getattr(args, "emission", None) or "multi",
         push_selections=bool(getattr(args, "push_selections", False)),
     )
 
@@ -255,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     translate = commands.add_parser(
         "translate",
         help="translate an XPath query to SQL",
-        parents=[_engine_flags(strategy=True, dialect=True, optimize=True, push_selections=True)],
+        parents=[_engine_flags(strategy=True, dialect=True, optimize=True, push_selections=True, emission=True)],
     )
     translate.add_argument("dtd", help="paper DTD name or file path")
     translate.add_argument("query", help="XPath query, e.g. 'dept//project'")
@@ -544,6 +562,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report (BENCH_6.json format) to PATH",
     )
 
+    bench_emission = commands.add_parser(
+        "bench-emission",
+        help="measure single-statement emission and the interval strategy on SQLite",
+    )
+    bench_emission.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget (default: 1200, or the --quick budget)",
+    )
+    bench_emission.add_argument(
+        "--repeats", type=int, default=None,
+        help="warm-pass repetitions per configuration (default: 5, or the --quick budget)",
+    )
+    bench_emission.add_argument(
+        "--quick", action="store_true",
+        help="tiny-budget defaults (CI smoke); explicit flags still override",
+    )
+    bench_emission.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report (BENCH_7.json format) to PATH",
+    )
+
     bench_optimizer = commands.add_parser(
         "bench-optimizer",
         help="measure translation+execution across optimizer levels 0/1/2",
@@ -594,8 +633,9 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         print()
     if args.show in ("sql", "all"):
         dialect = config.resolved_dialect()
-        print(f"-- SQL ({dialect.value}) --")
-        print(result.sql(dialect))
+        label = f"{dialect.value}, single statement" if config.emission == "single" else dialect.value
+        print(f"-- SQL ({label}) --")
+        print(result.sql(dialect, emission=config.emission))
     profile = result.operator_profile()
     print()
     print(
@@ -1104,6 +1144,33 @@ def _cmd_bench_executor(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_bench_emission(args: argparse.Namespace) -> int:
+    from repro.backends.emissionbench import (
+        EmissionBenchConfig,
+        describe_report,
+        run_emission_benchmark,
+        write_report,
+    )
+
+    from dataclasses import replace
+
+    config = EmissionBenchConfig.quick() if args.quick else EmissionBenchConfig()
+    overrides = {
+        name: value
+        for name, value in (("elements", args.elements), ("repeats", args.repeats))
+        if value is not None
+    }
+    if any(value < 1 for value in overrides.values()):
+        raise SystemExit("--elements and --repeats must be >= 1")
+    config = replace(config, **overrides)
+    report = run_emission_benchmark(config)
+    print(describe_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1125,6 +1192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-service": _cmd_bench_service,
         "bench-serving": _cmd_bench_serving,
         "bench-executor": _cmd_bench_executor,
+        "bench-emission": _cmd_bench_emission,
         "bench-optimizer": _cmd_bench_optimizer,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,

@@ -18,7 +18,9 @@ sub-expression and ``v`` is ``t``'s text value.  The cases are:
 * ``E[q]``               -> semi-joins / anti-joins / selections depending on
   the qualifier structure;
 * ``DESC(A, B)`` markers -> the SQL'99 multi-relation recursive union used
-  by the SQLGen-R baseline.
+  by the SQLGen-R baseline;
+* ``INTERVAL(A, B)`` markers -> a non-recursive range join against the
+  ``DOC_ORDER`` pre/post numbering (the interval descendant strategy).
 
 The final result is wrapped in ``sigma_{F = '_'}`` so only tuples rooted at
 the document root remain, as in Fig. 10 line 26.
@@ -34,6 +36,7 @@ from repro.errors import XPathTranslationError
 from repro.expath.ast import (
     EAnd,
     EDescendants,
+    EIntervals,
     EEmpty,
     EEmptySet,
     ELabel,
@@ -59,6 +62,7 @@ from repro.relational.algebra import (
     EdgeStep,
     Fixpoint,
     IdentityRelation,
+    IntervalJoin,
     Program,
     Project,
     RAExpr,
@@ -69,7 +73,7 @@ from repro.relational.algebra import (
     TagProject,
     Union,
 )
-from repro.relational.schema import F, T, V
+from repro.relational.schema import DOC_ORDER, F, T, V
 from repro.shredding.inlining import ROOT_PARENT, SimpleMapping
 
 __all__ = ["IMPOSSIBLE_F", "TranslationOptions", "ExtendedToSQL", "extended_to_sql"]
@@ -259,6 +263,8 @@ class _Lowering:
             return self._translate_star(expr, left)
         if isinstance(expr, EDescendants):
             return self._translate_descendants(expr, left)
+        if isinstance(expr, EIntervals):
+            return self._translate_intervals(expr, left)
         if isinstance(expr, EQualified):
             base = self._translate(expr.expr, left)
             base_ref = self._materialize(base, "qual_base")
@@ -315,6 +321,30 @@ class _Lowering:
         recursive_ref = self._materialize(recursive, f"desc_{source}_{expr.target}")
         selected = Select(recursive_ref, (Condition("TAG", "=", expr.target),))
         return Project(selected, (F, T, V), (F, T, V))
+
+    def _translate_intervals(self, expr: EIntervals, left: Optional[Scan]) -> RAExpr:
+        """Range join over the pre/post numbering (the interval strategy).
+
+        The ancestor candidates are the targets of the preceding step when
+        one is available, otherwise all ``source``-typed nodes; the
+        descendants are the ``target``-typed nodes whose ``PRE`` falls
+        strictly inside the ancestor's interval.  No recursion is emitted —
+        the whole descendant axis is two joins against ``DOC_ORDER``.
+        """
+        from repro.core.xpath_to_expath import VIRTUAL_ROOT
+
+        source = expr.source
+        if source == VIRTUAL_ROOT:
+            source = self._t.mapping.dtd.root
+        nodes, _ = self._t.descendant_types(source, expr.target)
+        if not nodes:
+            return Select(IdentityRelation(), (Condition(F, "=", IMPOSSIBLE_F),))
+        restrict: RAExpr = left if left is not None else self._t.relation_scan(source)
+        return IntervalJoin(
+            left=restrict,
+            right=self._t.relation_scan(expr.target),
+            order=Scan(DOC_ORDER),
+        )
 
     # -- qualifiers ---------------------------------------------------------------
 

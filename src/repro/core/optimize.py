@@ -22,8 +22,9 @@ that runs after lowering:
   2 = clean-ups plus reachability pruning);
 * :func:`select_strategy` — per-query automatic descendant-strategy
   selection: Tarjan SCC stats of the DTD region touched by the query's
-  ``//`` steps decide between cyclic-reach (CycleEX) and bounded unfolding
-  (CycleE regular expressions);
+  ``//`` steps decide between the interval range join (recursive or wide
+  regions), bounded unfolding (CycleE regular expressions) and
+  cyclic-reach (CycleEX, the no-``//`` default);
 * :func:`baseline_options` / :func:`standard_options` /
   :func:`push_selection_options` — the three lowering configurations
   compared by the experiments.
@@ -50,6 +51,7 @@ from repro.relational.algebra import (
     Fixpoint,
     IdentityRelation,
     Intersect,
+    IntervalJoin,
     Program,
     Project,
     RAExpr,
@@ -173,6 +175,12 @@ def _rewrite(expr: RAExpr, renames: Dict[str, str]) -> RAExpr:
                 for step in expr.steps
             ),
         )
+    if isinstance(expr, IntervalJoin):
+        return IntervalJoin(
+            _rewrite(expr.left, renames),
+            _rewrite(expr.right, renames),
+            _rewrite(expr.order, renames),
+        )
     return expr
 
 
@@ -216,7 +224,7 @@ def _columns_of(expr: RAExpr, schema_env: Dict[str, Tuple[str, ...]]) -> Optiona
     """
     if isinstance(expr, Scan):
         return schema_env.get(expr.name)
-    if isinstance(expr, (IdentityRelation, EmptyRelation, Compose, Fixpoint)):
+    if isinstance(expr, (IdentityRelation, EmptyRelation, Compose, Fixpoint, IntervalJoin)):
         return _FTV
     if isinstance(expr, (Select, SemiJoin, AntiJoin, Difference, Intersect)):
         first = expr.input if isinstance(expr, Select) else expr.left
@@ -357,6 +365,12 @@ def _simplify_expr(expr: RAExpr, schema_env: Dict[str, Tuple[str, ...]]) -> RAEx
             expr.right_column,
             expr.output,
         )
+    if isinstance(expr, IntervalJoin):
+        left = _simplify_expr(expr.left, schema_env)
+        right = _simplify_expr(expr.right, schema_env)
+        if isinstance(left, EmptyRelation) or isinstance(right, EmptyRelation):
+            return EmptyRelation()
+        return IntervalJoin(left, right, _simplify_expr(expr.order, schema_env))
     return expr
 
 
@@ -400,6 +414,7 @@ class _PairAnalysis:
 
     def __init__(self, dtd: DTD, mapping: SimpleMapping) -> None:
         graph = DTDGraph(dtd)
+        self._graph = graph
         self._types: List[str] = list(graph.nodes)
         self._text_types: Set[str] = set(dtd.text_types)
         self._root = dtd.root
@@ -516,6 +531,23 @@ class _PairAnalysis:
             return self._fixpoint_pairs(expr)
         if isinstance(expr, RecursiveUnion):
             return self._recursive_union_pairs(expr)
+        if isinstance(expr, IntervalJoin):
+            left = self.pairs(expr.left)
+            if not left:
+                return frozenset()
+            right = self.pairs(expr.right)
+            if not right:
+                return frozenset()
+            # Output F is the left side's T (the ancestor node); a pair is
+            # possible only when the descendant type is graph-reachable.
+            ancestors = {t for _, t in left}
+            descendants = {t for _, t in right}
+            return frozenset(
+                (ancestor, descendant)
+                for ancestor in ancestors
+                for descendant in descendants
+                if descendant in self._graph.reachable(ancestor)
+            )
         return self._universe
 
     def _column_types(self, pairs: _Pairs, column: str) -> Optional[Set[str]]:
@@ -671,6 +703,10 @@ class _EmptinessFolder:
                     EdgeStep(self.fold(step.relation), step.parent_tag, step.child_tag)
                     for step in expr.steps
                 ),
+            )
+        if isinstance(expr, IntervalJoin):
+            return IntervalJoin(
+                self.fold(expr.left), self.fold(expr.right), expr.order
             )
         return expr
 
@@ -862,12 +898,14 @@ def select_strategy(
     """Choose a descendant strategy for ``query`` from the touched DTD region.
 
     Tarjan SCC stats decide: if any ``//`` step's region intersects a
-    recursive SCC (size > 1, or a self-loop), reachability genuinely needs a
-    fixpoint and CycleEX (cyclic-reach) wins; if every region is acyclic
-    *and* unfolds into a bounded number of label paths, CycleE's plain
+    recursive SCC (size > 1, or a self-loop), reachability genuinely needs
+    transitive closure and the interval encoding's single range join beats
+    iterating a fixpoint; the same holds when an acyclic region would unfold
+    into more label paths than :data:`_UNFOLD_PATH_LIMIT` (the Example 3.3
+    blow-up).  If every region is acyclic *and* narrow, CycleE's plain
     regular expressions (unfolding) produce smaller, recursion-free
-    programs.  Queries without ``//`` translate identically under either,
-    so the cheaper-to-index CycleEX is used.
+    programs.  Queries without ``//`` translate identically under any
+    strategy, so the cheaper-to-index CycleEX is used.
     """
     if isinstance(query, str):
         from repro.xpath.parser import parse_xpath
@@ -885,7 +923,7 @@ def select_strategy(
         if len(component) > 1 or graph.has_edge(component[0], component[0]):
             recursive_nodes.update(component)
     if region & recursive_nodes:
-        return DescendantStrategy.CYCLEEX
+        return DescendantStrategy.INTERVAL
     # The region is acyclic (it is successor-closed, so every cycle through
     # it would lie inside it): bound the unfolding width.
     counts: Dict[str, int] = {}
@@ -903,5 +941,5 @@ def select_strategy(
         return total
 
     if max(downward_paths(node) for node in region) > _UNFOLD_PATH_LIMIT:
-        return DescendantStrategy.CYCLEEX
+        return DescendantStrategy.INTERVAL
     return DescendantStrategy.CYCLEE

@@ -42,7 +42,7 @@ from repro.dtd.model import DTD
 from repro.expath.ast import ExtendedXPathQuery
 from repro.expath.metrics import OperatorCounts, count_operators
 from repro.relational.algebra import OperatorProfile, Program
-from repro.relational.columnar import ColumnarExecutor
+from repro.relational.columnar import COLUMNAR_MIN_ROWS, ColumnarExecutor
 from repro.relational.executor import ExecutionStats, Executor
 from repro.relational.relation import Relation
 from repro.relational.schema import T as T_COLUMN
@@ -92,9 +92,15 @@ class TranslationResult:
         """Operator counts of the extended XPath query."""
         return count_operators(self.extended)
 
-    def sql(self, dialect: SQLDialect = SQLDialect.GENERIC) -> str:
-        """The program rendered as SQL text."""
-        return program_to_sql(self.program, dialect)
+    def sql(
+        self, dialect: SQLDialect = SQLDialect.GENERIC, emission: str = "multi"
+    ) -> str:
+        """The program rendered as SQL text.
+
+        ``emission="single"`` fuses the whole program into one
+        ``WITH [RECURSIVE]`` statement instead of per-assignment statements.
+        """
+        return program_to_sql(self.program, dialect, emission=emission)
 
 
 class XPathToSQLTranslator:
@@ -298,6 +304,7 @@ class XPathToSQLTranslator:
             dialect=self._cache_dialect.value,
             mapping=self._mapping_fingerprint,
             optimize=str(self._optimize_level),
+            emission=self._config.emission,
         )
 
     def translate(self, query: QueryLike) -> TranslationResult:
@@ -371,9 +378,17 @@ class XPathToSQLTranslator:
 
         The executor is picked by the config's ``executor`` knob: the
         columnar batch engine (default) or the tuple-at-a-time engine.
+        Cold tiny documents (fewer than
+        :data:`~repro.relational.columnar.COLUMNAR_MIN_ROWS` stored rows)
+        fall back to the tuple engine — dictionary-encoding a handful of
+        rows costs more than it saves.
         """
         result = self.translate(query)
-        if self._config.executor == "columnar":
+        use_columnar = (
+            self._config.executor == "columnar"
+            and shredded.database.total_rows() >= COLUMNAR_MIN_ROWS
+        )
+        if use_columnar:
             executor: object = ColumnarExecutor(shredded.database, lazy=lazy)
         else:
             executor = Executor(shredded.database, lazy=lazy)

@@ -96,7 +96,10 @@ class PlanKey:
     semantically identical but structurally different, so they must not
     alias.  For the ``auto`` strategy the *resolved* per-query strategy is
     recorded, so an auto translator and an explicit one sharing a cache
-    converge on the same entry.
+    converge on the same entry.  ``emission`` (PR 9) records the SQL
+    statement shape (``multi`` per-assignment statements vs one fused
+    ``single`` statement): the relational program is the same either way,
+    but the rendered SQL a cached plan carries is not.
     """
 
     dtd: str
@@ -106,6 +109,7 @@ class PlanKey:
     dialect: str
     mapping: str
     optimize: str = "2"
+    emission: str = "multi"
 
 
 def plan_key(
@@ -116,6 +120,7 @@ def plan_key(
     dialect: SQLDialect = SQLDialect.GENERIC,
     mapping: Optional[SimpleMapping] = None,
     optimize_level: Optional[int] = None,
+    emission: str = "multi",
 ) -> PlanKey:
     """Build the :class:`PlanKey` for one (DTD, query, configuration) point."""
     from repro.core.optimize import DEFAULT_OPTIMIZE_LEVEL, select_strategy
@@ -131,6 +136,7 @@ def plan_key(
         dialect=dialect.value,
         mapping=mapping_fingerprint(mapping or SimpleMapping(dtd)),
         optimize=str(level),
+        emission=emission,
     )
 
 

@@ -20,7 +20,11 @@ The descendant axis is delegated to a pluggable strategy:
   (exponential worst case, baseline "E");
 * ``RECURSIVE_UNION`` — opaque :class:`~repro.expath.ast.EDescendants`
   markers that EXpToSQL later maps to SQL'99 multi-relation recursion
-  (baseline "R", SQLGen-R-style).
+  (baseline "R", SQLGen-R-style);
+* ``INTERVAL`` — opaque :class:`~repro.expath.ast.EIntervals` markers that
+  EXpToSQL maps to range-predicate joins over the shredded document's
+  pre/post (interval) numbering — the XPath-accelerator encoding; no
+  recursion at all.
 
 A *virtual root* context (``VIRTUAL_ROOT``) whose only child is the DTD root
 is used for whole-document queries, so a query beginning with the root
@@ -41,6 +45,7 @@ from repro.errors import XPathTranslationError
 from repro.expath.ast import (
     EAnd,
     EDescendants,
+    EIntervals,
     EEmpty,
     EEmptySet,
     ELabel,
@@ -100,6 +105,7 @@ class DescendantStrategy(enum.Enum):
     CYCLEEX = "cycleex"
     CYCLEE = "cyclee"
     RECURSIVE_UNION = "recursive-union"
+    INTERVAL = "interval"
     AUTO = "auto"
 
 
@@ -206,8 +212,14 @@ class XPathToExtended:
         if self._strategy is DescendantStrategy.CYCLEE:
             assert self._cyclee is not None
             return self._cyclee.rec(source, target), []
+        if self._strategy is DescendantStrategy.INTERVAL:
+            # Interval encoding: opaque range-join marker, eps for self.
+            marker: Expr = EIntervals(source, target)
+            if source == target:
+                marker = eunion(EEmpty(), marker)
+            return marker, []
         # SQLGen-R style: opaque marker, plus eps for the self case.
-        marker: Expr = EDescendants(source, target)
+        marker = EDescendants(source, target)
         if source == target:
             marker = eunion(EEmpty(), marker)
         return marker, []
@@ -242,7 +254,7 @@ class _Translation:
 
     def _operand(self, expression: Expr, hint: str) -> Expr:
         """Bind a non-trivial expression to a fresh variable and return the operand."""
-        if isinstance(expression, (EEmpty, EEmptySet, ELabel, EVar, EDescendants)):
+        if isinstance(expression, (EEmpty, EEmptySet, ELabel, EVar, EDescendants, EIntervals)):
             return expression
         self._counter += 1
         name = f"Q{self._counter}_{hint}"

@@ -30,6 +30,7 @@ __all__ = [
     "EUnion",
     "EStar",
     "EDescendants",
+    "EIntervals",
     "EQualified",
     "EPathQual",
     "ETextEquals",
@@ -174,6 +175,23 @@ class EDescendants(Expr):
 
     def __str__(self) -> str:
         return f"DESC({self.source}, {self.target})"
+
+
+@dataclass(frozen=True)
+class EIntervals(Expr):
+    """Opaque descendant marker for the interval (pre/post) strategy.
+
+    ``EIntervals(source, target)`` denotes the same proper-descendant
+    relation as :class:`EDescendants`, but the lowering answers it with a
+    range-predicate join over the ``DOC_ORDER`` numbering instead of a
+    fixpoint or recursive union — the XPath-accelerator encoding.
+    """
+
+    source: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"INTERVAL({self.source}, {self.target})"
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from repro.expath.ast import (
     EDescendants,
     EEmpty,
     EEmptySet,
+    EIntervals,
     ELabel,
     ENot,
     EOr,
@@ -92,7 +93,9 @@ class ExtendedXPathEvaluator:
             # produced by the translators never place a bare E* at the top
             # level, but we give it the natural closure-over-children meaning.
             return self._closure(expr.inner, {root})
-        if isinstance(expr, EDescendants):
+        if isinstance(expr, (EDescendants, EIntervals)):
+            # Proper descendants of the virtual root = every document node;
+            # EIntervals denotes the same node set, only lowered differently.
             return {
                 node for node in self._tree.nodes() if node.label == expr.target
             }
@@ -123,7 +126,7 @@ class ExtendedXPathEvaluator:
             return self._eval(expr.left, context) | self._eval(expr.right, context)
         if isinstance(expr, EStar):
             return self._closure(expr.inner, context)
-        if isinstance(expr, EDescendants):
+        if isinstance(expr, (EDescendants, EIntervals)):
             out: Set[XMLNode] = set()
             for node in context:
                 for descendant in node.iter_descendants():

@@ -71,6 +71,7 @@ class EngineSpec:
         optimized: bool = True,
         optimize_level: Optional[int] = None,
         executor: Optional[str] = None,
+        emission: Optional[str] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         if config is None:
@@ -81,10 +82,16 @@ class EngineSpec:
                 strategy=strategy,
                 optimize_level=optimize_level,
                 executor=DEFAULT_EXECUTOR if executor is None else executor,
+                emission="multi" if emission is None else emission,
                 use_small_seed=bool(optimized),
                 push_selections=bool(optimized),
             )
-        elif backend is not None or strategy is not None or executor is not None:
+        elif (
+            backend is not None
+            or strategy is not None
+            or executor is not None
+            or emission is not None
+        ):
             raise ValueError("pass either config= or backend/strategy, not both")
         object.__setattr__(self, "_config", config)
 
@@ -122,17 +129,24 @@ class EngineSpec:
         return self._config.executor
 
     @property
+    def emission(self) -> str:
+        """The SQL statement shape (``multi`` or ``single``)."""
+        return self._config.emission
+
+    @property
     def name(self) -> str:
         """Display name, e.g. ``memory/cycleex/opt`` or ``memory/auto/opt/O0``.
 
-        A non-default executor shows up as a trailing segment
-        (``memory/cycleex/opt/tuple``), so the historical grid names are
-        unchanged.
+        A non-default executor or emission shows up as a trailing segment
+        (``memory/cycleex/opt/tuple``, ``sqlite/interval/opt/single``), so
+        the historical grid names are unchanged.
         """
         level = "opt" if self.optimized else "baseline"
         suffix = "" if self.optimize_level is None else f"/O{self.optimize_level}"
         if self.executor != DEFAULT_EXECUTOR:
             suffix += f"/{self.executor}"
+        if self.emission != "multi":
+            suffix += f"/{self.emission}"
         return f"{self.backend}/{self.strategy.value}/{level}{suffix}"
 
     def options(self) -> TranslationOptions:
@@ -170,9 +184,12 @@ def default_engines(
     The memory engines run on the (default) columnar executor; each
     strategy's ``opt`` point additionally runs on the tuple executor
     (``.../opt/tuple``), so the two in-memory engines differentially check
-    each other on every case.  SQLite runs each strategy once (optimised) —
-    the dialect rendering and real ``WITH RECURSIVE`` execution are what it
-    adds; the lowering-optimisation axis is already covered in memory.
+    each other on every case.  SQLite runs each strategy twice (optimised):
+    once with the default per-statement emission and once with the whole
+    program fused into a single ``WITH [RECURSIVE]`` statement
+    (``.../opt/single``) — the dialect rendering, real ``WITH RECURSIVE``
+    execution and the statement fuser are what it adds; the
+    lowering-optimisation axis is already covered in memory.
     ``optimize_level`` pins the program-optimizer level of every engine
     (default: the pipeline default); the memory/cycleex pair additionally
     always runs at level 0, so optimizer rewrites are differentially
@@ -214,6 +231,19 @@ def default_engines(
             engines.append(
                 EngineSpec(backend, strategy, optimized=True, optimize_level=optimize_level)
             )
+            if backend == "sqlite":
+                # The single-statement oracle arm: same program, fused into
+                # one WITH [RECURSIVE] statement, so the statement fuser is
+                # cross-checked on every case.
+                engines.append(
+                    EngineSpec(
+                        backend,
+                        strategy,
+                        optimized=True,
+                        optimize_level=optimize_level,
+                        emission="single",
+                    )
+                )
     return engines
 
 
@@ -310,7 +340,7 @@ class DifferentialOracle:
                 timer = obs.Timer()
                 try:
                     with timer:
-                        backend_key = (engine.backend, engine.executor)
+                        backend_key = (engine.backend, engine.executor, engine.emission)
                         backend = backends.get(backend_key)
                         if backend is None:
                             backend = create_backend(engine.config, shredded.database)

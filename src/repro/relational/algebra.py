@@ -43,6 +43,7 @@ __all__ = [
     "IdentityRelation",
     "EmptyRelation",
     "TagProject",
+    "IntervalJoin",
     "Fixpoint",
     "EdgeStep",
     "RecursiveUnion",
@@ -278,6 +279,30 @@ class TagProject(RAExpr):
 
 
 @dataclass(frozen=True)
+class IntervalJoin(RAExpr):
+    """Descendant step as a range join over the interval numbering.
+
+    ``left`` and ``right`` are ``(F, T, V)`` relations and ``order`` is the
+    document-order relation ``DOC_ORDER(T, PRE, POST, SIZE)``.  The output
+    has columns ``(F, T, V)``: one row per pair ``(a, d)`` where ``a`` is a
+    ``T`` of ``left``, ``d`` a ``T`` of ``right`` and ``d``'s ``PRE`` lies
+    in the half-open window ``(pre_a, pre_a + size_a]`` — i.e. ``d`` is a *proper*
+    descendant of ``a``; ``V`` is ``d``'s value.  This is the interval
+    (XPath-accelerator) alternative to unfolding ``//`` into a fixpoint.
+    """
+
+    left: RAExpr
+    right: RAExpr
+    order: RAExpr
+
+    def children(self) -> Tuple[RAExpr, ...]:
+        return (self.left, self.right, self.order)
+
+    def __str__(self) -> str:
+        return f"({self.left} IVJOIN {self.right})"
+
+
+@dataclass(frozen=True)
 class Fixpoint(RAExpr):
     """The simple LFP operator ``Phi(R)`` of Sect. 3.3 (with push-in anchors).
 
@@ -463,7 +488,7 @@ class Program:
         """Count joins, unions, LFPs etc. across the whole program."""
         profile = OperatorProfile()
         for expr in self.iter_expressions():
-            if isinstance(expr, (Compose, EquiJoin, SemiJoin, AntiJoin)):
+            if isinstance(expr, (Compose, EquiJoin, SemiJoin, AntiJoin, IntervalJoin)):
                 profile.joins += 1
             elif isinstance(expr, Union):
                 profile.unions += max(0, len(expr.inputs) - 1)

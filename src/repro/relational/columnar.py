@@ -35,6 +35,7 @@ import itertools
 import threading
 import time
 import weakref
+from bisect import bisect_left, bisect_right
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -48,6 +49,7 @@ from repro.relational.algebra import (
     Fixpoint,
     IdentityRelation,
     Intersect,
+    IntervalJoin,
     Program,
     Project,
     RAExpr,
@@ -61,11 +63,12 @@ from repro.relational.algebra import (
 from repro.relational.database import Database
 from repro.relational.executor import ExecutionStats
 from repro.relational.relation import Relation
-from repro.relational.schema import F, NODE_COLUMNS, T, V
+from repro.relational.schema import F, NODE_COLUMNS, PRE, SIZE, T, V
 
 __all__ = [
     "EXECUTOR_NAMES",
     "DEFAULT_EXECUTOR",
+    "COLUMNAR_MIN_ROWS",
     "ValueDictionary",
     "ColumnarRelation",
     "ColumnarDatabase",
@@ -79,6 +82,13 @@ __all__ = [
 #: as the oracle/baseline arm.
 EXECUTOR_NAMES: Tuple[str, ...] = ("columnar", "tuple")
 DEFAULT_EXECUTOR = "columnar"
+
+#: Below this many total base-relation rows, dictionary-encoding a cold
+#: store costs more than an entire tuple-executor run over the raw sets.
+#: Callers that resolve ``executor="columnar"`` (the memory backend, the
+#: pipeline) fall back to the tuple engine for such tiny cold documents
+#: instead of paying the encoding just to throw it away.
+COLUMNAR_MIN_ROWS = 64
 
 _TAG_COLUMNS = (F, T, V, "TAG")
 
@@ -760,6 +770,56 @@ class ColumnarExecutor:
         self.stats.tuples_materialized += len(result)
         return ColumnarRelation(NODE_COLUMNS, rows=result)
 
+    def _interval_join(self, expr: IntervalJoin, temps, program) -> ColumnarRelation:
+        left = self._evaluate(expr.left, temps, program)
+        if not len(left):
+            return ColumnarRelation(NODE_COLUMNS)
+        right = self._evaluate(expr.right, temps, program)
+        if not len(right):
+            return ColumnarRelation(NODE_COLUMNS)
+        order = self._evaluate(expr.order, temps, program)
+        decode = self._store.dictionary.decode
+
+        def build_intervals() -> Dict[int, Tuple[int, int]]:
+            # Node code -> (pre, size), decoded once: the window arithmetic
+            # needs the integer ranks, not their dictionary codes.
+            cols = order.cols()
+            t_col = cols[order.column_index(T)]
+            pre_col = cols[order.column_index(PRE)]
+            size_col = cols[order.column_index(SIZE)]
+            return {
+                t: (int(decode(p)), int(decode(s)))
+                for t, p, s in zip(t_col, pre_col, size_col)
+            }
+
+        interval = order.memo("ivj-intervals", build_intervals)
+
+        def build_targets() -> Tuple[List[int], List[Tuple[int, int, int]]]:
+            cols = right.cols()
+            t_col = cols[right.column_index(T)]
+            v_col = cols[right.column_index(V)]
+            ordered = sorted(
+                (interval[t][0], t, v) for t, v in zip(t_col, v_col) if t in interval
+            )
+            return [pre for pre, _, _ in ordered], ordered
+
+        pres, targets = right.memo(("ivj-targets", order.name), build_targets)
+        lt_col = left.cols()[left.column_index(T)]
+        rows: Set[Tuple[int, ...]] = set()
+        add = rows.add
+        get = interval.get
+        for ancestor in set(lt_col):
+            window = get(ancestor)
+            if window is None:
+                continue
+            pre, size = window
+            lo = bisect_right(pres, pre)
+            hi = bisect_left(pres, pre + size + 1)
+            for _, node, value in targets[lo:hi]:
+                add((ancestor, node, value))
+        self.stats.join_output_rows += len(rows)
+        return ColumnarRelation(NODE_COLUMNS, rows=rows)
+
     def _recursive_union(self, expr: RecursiveUnion, temps, program) -> ColumnarRelation:
         init = self._evaluate(expr.init, temps, program)
         if tuple(init.columns) != _TAG_COLUMNS:
@@ -825,6 +885,7 @@ class ColumnarExecutor:
         Intersect: _intersect,
         Fixpoint: _fixpoint,
         RecursiveUnion: _recursive_union,
+        IntervalJoin: _interval_join,
     }
 
     _SPAN_NAMES: Dict[type, str] = {

@@ -15,6 +15,7 @@ produced, join probes) are collected for the benchmark harness.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -29,6 +30,7 @@ from repro.relational.algebra import (
     Fixpoint,
     IdentityRelation,
     Intersect,
+    IntervalJoin,
     Program,
     Project,
     RAExpr,
@@ -41,7 +43,7 @@ from repro.relational.algebra import (
 )
 from repro.relational.database import Database
 from repro.relational.relation import Relation
-from repro.relational.schema import F, NODE_COLUMNS, T, V
+from repro.relational.schema import F, NODE_COLUMNS, PRE, SIZE, T, V
 
 __all__ = ["ExecutionStats", "Executor", "execute_program"]
 
@@ -178,6 +180,8 @@ class Executor:
             return self._fixpoint(expr, temps, program)
         if isinstance(expr, RecursiveUnion):
             return self._recursive_union(expr, temps, program)
+        if isinstance(expr, IntervalJoin):
+            return self._interval_join(expr, temps, program)
         raise ExecutionError(f"unknown relational expression {expr!r}")
 
     # -- operators ---------------------------------------------------------------
@@ -338,6 +342,41 @@ class Executor:
             frontier = new
         self.stats.tuples_materialized += len(result)
         return Relation(NODE_COLUMNS, result)
+
+    def _interval_join(self, expr: IntervalJoin, temps, program) -> Relation:
+        left = self._evaluate(expr.left, temps, program)
+        if not left.rows:
+            return Relation(NODE_COLUMNS, set())
+        right = self._evaluate(expr.right, temps, program)
+        if not right.rows:
+            return Relation(NODE_COLUMNS, set())
+        order = self._evaluate(expr.order, temps, program)
+        ot, op, os = (order.column_index(c) for c in (T, PRE, SIZE))
+        interval: Dict[object, Tuple[int, int]] = {
+            row[ot]: (int(row[op]), int(row[os])) for row in order.rows
+        }
+        rt, rv = right.column_index(T), right.column_index(V)
+        # Candidate descendants sorted by pre rank: a binary search then
+        # turns each ancestor's (pre, pre + size] window into one slice.
+        targets = sorted(
+            (interval[row[rt]][0], row[rt], row[rv])
+            for row in right.rows
+            if row[rt] in interval
+        )
+        pres = [pre for pre, _, _ in targets]
+        lt = left.column_index(T)
+        rows: Set[Tuple] = set()
+        for row in left.rows:
+            window = interval.get(row[lt])
+            if window is None:
+                continue
+            pre, size = window
+            lo = bisect_right(pres, pre)
+            hi = bisect_left(pres, pre + size + 1)
+            for _, node, value in targets[lo:hi]:
+                rows.add((row[lt], node, value))
+        self.stats.join_output_rows += len(rows)
+        return Relation(NODE_COLUMNS, rows)
 
     def _recursive_union(self, expr: RecursiveUnion, temps, program) -> Relation:
         init = self._evaluate(expr.init, temps, program)

@@ -14,7 +14,19 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
 
-__all__ = ["RelationSchema", "DatabaseSchema", "F", "T", "V", "NODE_COLUMNS"]
+__all__ = [
+    "RelationSchema",
+    "DatabaseSchema",
+    "F",
+    "T",
+    "V",
+    "NODE_COLUMNS",
+    "DOC_ORDER",
+    "PRE",
+    "POST",
+    "SIZE",
+    "ORDER_COLUMNS",
+]
 
 # Canonical column names of the paper's simplified storage mapping.
 F = "F"  # from (parentId)
@@ -22,6 +34,19 @@ T = "T"  # to (node ID)
 V = "V"  # text value of the T node ('_' when absent)
 
 NODE_COLUMNS: Tuple[str, str, str] = (F, T, V)
+
+# The interval (pre/post/size) document-order side relation.  One row per
+# document node: ``(T, PRE, POST, SIZE)`` where ``SIZE`` counts the proper
+# descendants, which are exactly the nodes with ``PRE`` in the half-open
+# window ``(pre, pre + size]``.  It is *not* a node relation (its rows are not
+# ``(F, T, V)`` edges), so it never contributes to ``R_id`` or the
+# ``ALL_NODES`` view.
+DOC_ORDER = "DOC_ORDER"
+PRE = "PRE"
+POST = "POST"
+SIZE = "SIZE"
+
+ORDER_COLUMNS: Tuple[str, str, str, str] = (T, PRE, POST, SIZE)
 
 
 @dataclass(frozen=True)

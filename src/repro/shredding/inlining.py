@@ -22,7 +22,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.dtd.model import DTD
 from repro.dtd.graph import DTDGraph
 from repro.errors import ShreddingError
-from repro.relational.schema import DatabaseSchema, NODE_COLUMNS, RelationSchema
+from repro.relational.schema import (
+    DOC_ORDER,
+    DatabaseSchema,
+    NODE_COLUMNS,
+    ORDER_COLUMNS,
+    RelationSchema,
+)
 
 __all__ = [
     "ROOT_PARENT",
@@ -81,13 +87,21 @@ class SimpleMapping:
         return [self._relations[t] for t in self._dtd.element_types]
 
     def database_schema(self) -> DatabaseSchema:
-        """Build the :class:`DatabaseSchema` for this mapping."""
+        """Build the :class:`DatabaseSchema` for this mapping.
+
+        Besides one ``R_A(F, T, V)`` relation per element type, the schema
+        carries the ``DOC_ORDER(T, PRE, POST, SIZE)`` side relation holding
+        the interval (pre/post) node numbering; it is deliberately not a
+        node relation, so ``R_id`` and the ``ALL_NODES`` view are unchanged.
+        """
         schemas = [
             RelationSchema(self._relations[t], NODE_COLUMNS) for t in self._dtd.element_types
         ]
+        node_names = [s.name for s in schemas]
+        schemas.append(RelationSchema(DOC_ORDER, ORDER_COLUMNS))
         return DatabaseSchema(
             schemas,
-            node_relations=[s.name for s in schemas],
+            node_relations=node_names,
             element_relations=dict(self._relations),
         )
 

@@ -9,6 +9,7 @@ from repro.dtd.model import DTD
 from repro.errors import ShreddingError
 from repro.relational.database import Database
 from repro.relational.relation import Relation
+from repro.relational.schema import DOC_ORDER
 from repro.shredding.inlining import (
     MISSING_VALUE,
     ROOT_PARENT,
@@ -18,7 +19,7 @@ from repro.shredding.inlining import (
 )
 from repro.xmltree.tree import XMLNode, XMLTree
 
-__all__ = ["ShreddedDocument", "shred_document", "shred_inlined"]
+__all__ = ["ShreddedDocument", "interval_numbering", "shred_document", "shred_inlined"]
 
 
 @dataclass
@@ -50,6 +51,39 @@ class ShreddedDocument:
         return sorted(nodes, key=lambda node: node.node_id)
 
 
+def interval_numbering(tree: XMLTree) -> Set[Tuple[int, int, int, int]]:
+    """The pre/post/size document-order numbering of ``tree``.
+
+    One ``(node_id, pre, post, size)`` tuple per node, where ``pre`` is the
+    depth-first visit rank, ``post`` the finish rank and ``size`` the number
+    of proper descendants.  Pre-order ranks are contiguous per subtree, so
+    the proper descendants of a node are exactly the nodes whose ``pre``
+    lies in the half-open window ``(pre, pre + size]`` — the range predicate the
+    ``interval`` descendant strategy joins on.
+    """
+    rows: Set[Tuple[int, int, int, int]] = set()
+    if tree.root is None:
+        return rows
+    pre_of: Dict[int, int] = {}
+    pre_counter = 0
+    post_counter = 0
+    stack: List[Tuple[XMLNode, bool]] = [(tree.root, False)]
+    while stack:
+        node, finished = stack.pop()
+        if not finished:
+            pre_of[node.node_id] = pre_counter
+            pre_counter += 1
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+        else:
+            pre = pre_of[node.node_id]
+            size = pre_counter - pre - 1
+            rows.add((node.node_id, pre, post_counter, size))
+            post_counter += 1
+    return rows
+
+
 def shred_document(
     tree: XMLTree, dtd: DTD, mapping: Optional[SimpleMapping] = None
 ) -> ShreddedDocument:
@@ -57,7 +91,9 @@ def shred_document(
 
     Every node becomes one tuple in the relation of its element type: the
     parent's node id (``'_'`` for the document root), its own node id, and
-    its text value (``'_'`` when absent), exactly as in Table 1.
+    its text value (``'_'`` when absent), exactly as in Table 1.  The
+    ``DOC_ORDER`` side relation additionally records every node's interval
+    (pre/post/size) numbering for the range-join descendant strategy.
     """
     mapping = mapping or SimpleMapping(dtd)
     schema = mapping.database_schema()
@@ -73,6 +109,9 @@ def shred_document(
         parent_id = ROOT_PARENT if node.parent is None else node.parent.node_id
         value = node.value if node.value is not None else MISSING_VALUE
         rows[relation_name].add((parent_id, node.node_id, value))
+
+    if schema.has_relation(DOC_ORDER):
+        rows[DOC_ORDER] = interval_numbering(tree)
 
     database = Database(schema)
     for name, relation_rows in rows.items():

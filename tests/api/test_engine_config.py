@@ -1,7 +1,7 @@
 """:class:`EngineConfig` contract tests: validation, immutability, round-trips.
 
 The Issue 5 satellite: ``from_dict(to_dict(c)) == c`` across the full
-default fuzz-engine grid (17 engines), invalid values raise
+default fuzz-engine grid (26 engines), invalid values raise
 :class:`~repro.errors.ConfigError`, and :meth:`with_` never mutates the
 original.
 """
@@ -30,7 +30,7 @@ class TestValidationAndCoercion:
         assert config.plan_cache_size == 128
 
     def test_strategy_accepts_names(self):
-        for name in ("cycleex", "cyclee", "recursive-union", "auto"):
+        for name in ("cycleex", "cyclee", "recursive-union", "interval", "auto"):
             assert EngineConfig(strategy=name).strategy is DescendantStrategy(name)
 
     def test_dialect_accepts_names(self):
@@ -46,6 +46,7 @@ class TestValidationAndCoercion:
             {"backend": "duckdb"},
             {"optimize_level": 5},
             {"optimize_level": True},
+            {"emission": "batched"},
             {"use_small_seed": "yes"},
             {"push_selections": 1},
             {"plan_cache_size": -1},
@@ -126,9 +127,9 @@ class TestSerializationRoundTrips:
         assert EngineConfig.from_dict(json.loads(wire)) == config
 
     def test_round_trip_full_fuzz_grid(self):
-        """Every engine of the default 17-engine grid round-trips exactly."""
+        """Every engine of the default 26-engine grid round-trips exactly."""
         engines = default_engines()
-        assert len(engines) == 17
+        assert len(engines) == 26
         for engine in engines:
             config = engine.config
             assert EngineConfig.from_dict(config.to_dict()) == config, engine.name
@@ -148,6 +149,13 @@ class TestSerializationRoundTrips:
     def test_missing_keys_take_defaults(self):
         assert EngineConfig.from_dict({}) == EngineConfig()
         assert EngineConfig.from_dict({"backend": "sqlite"}).backend == "sqlite"
+
+    def test_emission_round_trips(self):
+        config = EngineConfig(backend="sqlite", emission="single")
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        assert "emission=single" in config.describe()
+        # The default emission stays out of the compact label.
+        assert "emission" not in EngineConfig().describe()
 
 
 class TestResolveEngineConfig:

@@ -278,9 +278,11 @@ class TestOptimizeLevels:
 
 
 class TestSelectStrategy:
-    def test_cyclic_region_uses_cycleex(self):
-        assert select_strategy(samples.cross_dtd(), "a//d") is DescendantStrategy.CYCLEEX
-        assert select_strategy(samples.gedml_dtd(), "even//data") is DescendantStrategy.CYCLEEX
+    def test_cyclic_region_uses_interval(self):
+        # Recursive regions need real transitive closure: the interval
+        # encoding answers it with one range join instead of a fixpoint.
+        assert select_strategy(samples.cross_dtd(), "a//d") is DescendantStrategy.INTERVAL
+        assert select_strategy(samples.gedml_dtd(), "even//data") is DescendantStrategy.INTERVAL
 
     def test_acyclic_region_unfolds(self):
         library = parse_dtd(
@@ -296,13 +298,14 @@ class TestSelectStrategy:
     def test_no_descendant_step_defaults_to_cycleex(self):
         assert select_strategy(samples.cross_dtd(), "a/b") is DescendantStrategy.CYCLEEX
 
-    def test_wide_dags_fall_back_to_cycleex(self):
-        # The complete-DAG family is the paper's exponential-unfolding case.
+    def test_wide_dags_fall_back_to_interval(self):
+        # The complete-DAG family is the paper's exponential-unfolding case:
+        # no recursion, but unfolding blows up, so the range join wins.
         dag = samples.complete_dag_dtd(12)
         root = dag.root
         assert (
             select_strategy(dag, f"{root}//{dag.element_types[-1]}")
-            is DescendantStrategy.CYCLEEX
+            is DescendantStrategy.INTERVAL
         )
 
     def test_qualifier_regions_count(self):
@@ -310,7 +313,7 @@ class TestSelectStrategy:
         dtd = samples.dept_dtd()
         assert (
             select_strategy(dtd, "dept/course[//project]")
-            is DescendantStrategy.CYCLEEX
+            is DescendantStrategy.INTERVAL
         )
 
     def test_auto_pipeline_answers_match_concrete(self, cross_dtd, cross_shredded):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.dtd import samples
 from repro.errors import ShreddingError
-from repro.relational.schema import NODE_COLUMNS
+from repro.relational.schema import DOC_ORDER, NODE_COLUMNS, ORDER_COLUMNS
 from repro.shredding.inlining import SimpleMapping, shared_inlining
 
 
@@ -29,10 +29,17 @@ class TestSimpleMapping:
     def test_database_schema_structure(self):
         dtd = samples.cross_dtd()
         schema = SimpleMapping(dtd).database_schema()
-        assert set(schema.relation_names) == {"R_a", "R_b", "R_c", "R_d"}
+        assert set(schema.relation_names) == {
+            "R_a", "R_b", "R_c", "R_d", DOC_ORDER,
+        }
         for name in schema.relation_names:
-            assert schema.relation(name).columns == NODE_COLUMNS
-        assert set(schema.node_relations) == set(schema.relation_names)
+            if name == DOC_ORDER:
+                assert schema.relation(name).columns == ORDER_COLUMNS
+            else:
+                assert schema.relation(name).columns == NODE_COLUMNS
+        # The document-order side table is not a node relation: queries
+        # range over R_* relations only, DOC_ORDER is join-only.
+        assert set(schema.node_relations) == {"R_a", "R_b", "R_c", "R_d"}
         assert schema.relation_for_element("c") == "R_c"
 
     def test_custom_prefix(self):

@@ -13,7 +13,16 @@ from repro.xmltree.tree import build_tree
 
 class TestSimpleShredding:
     def test_every_node_becomes_one_tuple(self, dept_tree, dept_dtd, dept_shredded):
-        assert dept_shredded.database.total_rows() == dept_tree.size()
+        # One R_* edge tuple per node, plus one DOC_ORDER pre/post/size
+        # tuple per node (the interval encoding rides along at shred time).
+        database = dept_shredded.database
+        node_rows = sum(
+            len(database.relation(name))
+            for name in database.schema.node_relations
+        )
+        assert node_rows == dept_tree.size()
+        assert len(database.relation("DOC_ORDER")) == dept_tree.size()
+        assert database.total_rows() == 2 * dept_tree.size()
 
     def test_root_tuple_uses_sentinel_parent(self, dept_shredded, dept_dtd):
         root_relation = dept_shredded.database.relation("R_dept")

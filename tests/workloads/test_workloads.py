@@ -78,7 +78,9 @@ class TestDatasets:
         spec = DatasetSpec(samples.cross_dtd(), x_l=5, x_r=2, seed=3, max_elements=300)
         tree, shredded = build_dataset(spec)
         assert shredded.tree is tree
-        assert shredded.database.total_rows() == tree.size()
+        # One edge tuple + one DOC_ORDER tuple per node since the
+        # interval encoding landed.
+        assert shredded.database.total_rows() == 2 * tree.size()
 
     def test_dept_sample_tree_matches_table1(self):
         tree = dept_sample_tree()
