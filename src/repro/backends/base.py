@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
 
 from repro import obs
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids a cycle)
+    from repro.live.delta import ShredDelta
 from repro.relational.algebra import Program
 from repro.relational.database import Database
 from repro.relational.schema import T
@@ -169,6 +173,23 @@ class Backend(abc.ABC):
     def answer_node_ids(self, program: Program) -> Set[str]:
         """Convenience: execute and return the matched node-id set."""
         return self.execute(program).node_ids()
+
+    # -- live updates ------------------------------------------------------------
+
+    def apply_delta(self, delta: "ShredDelta") -> None:
+        """Apply a :class:`~repro.live.delta.ShredDelta` to the backing store.
+
+        The sanctioned route for mutating a registered document: the delta
+        (produced by :class:`~repro.live.mutations.DocumentMutator`) carries
+        row-level inserts/deletes per base relation, and the backend updates
+        whatever materialisation it owns so subsequent queries observe the
+        post-mutation document.  Backends without incremental-update support
+        keep the read-only default and raise.
+        """
+        raise ExecutionError(
+            f"backend {self.name!r} does not support incremental deltas; "
+            "re-register the document instead"
+        )
 
     def close(self) -> None:
         """Release backend resources (no-op by default)."""

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from repro import obs
 from repro.backends.base import Backend, BackendResult, normalize_rows
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids a cycle)
+    from repro.live.delta import ShredDelta
 from repro.relational.algebra import Program
 from repro.relational.columnar import (
     COLUMNAR_MIN_ROWS,
@@ -38,10 +42,13 @@ class MemoryBackend(Backend):
     * ``tuple`` — the original row-at-a-time hash-join/LFP engine, kept as
       the differential oracle's baseline arm.
 
-    Every :meth:`execute` call builds a fresh executor over the (immutable
-    after shredding) database, so concurrent calls from many threads are
-    lock-free reads — there is no shared mutable state outside the
-    append-only columnar store.
+    Every :meth:`execute` call builds a fresh executor over the database,
+    so concurrent calls from many threads are lock-free reads — there is no
+    shared mutable state outside the append-only columnar store.  The
+    database is immutable outside :meth:`apply_delta`, which is the one
+    sanctioned mutation route; a database mutated behind the backend's back
+    trips the registration-version guard and queries raise
+    :class:`~repro.errors.ExecutionError` instead of silently re-encoding.
 
     Parameters
     ----------
@@ -71,6 +78,9 @@ class MemoryBackend(Backend):
             # Encode the store eagerly so the (amortised) dictionary-encoding
             # cost is paid at registration time, not on the first query.
             columnar_store(database)
+        # Snapshot of database.version: queries refuse to run against a
+        # database mutated behind the backend's back (see apply_delta).
+        self._registered_version = database.version
 
     @property
     def executor(self) -> str:
@@ -85,11 +95,52 @@ class MemoryBackend(Backend):
             and self._database.total_rows() >= COLUMNAR_MIN_ROWS
         )
 
+    def apply_delta(self, delta: "ShredDelta") -> None:
+        """Mutate the backing :class:`Database` in place from a delta.
+
+        Each touched relation is replaced via ``set_relation``, which bumps
+        the database version.  When the current columnar store still matches
+        the pre-delta version it is patched in place — the shared value
+        dictionary and every untouched relation's encoding (and memoized
+        join structures) survive — instead of being thrown away and
+        re-encoded from scratch on the next query.  The backend's own
+        registration snapshot is resynced, so queries keep flowing — this is
+        the one sanctioned way to mutate a registered document's database.
+        """
+        from repro.live.delta import apply_delta_to_database
+        from repro.relational.columnar import ColumnarDatabase
+
+        with obs.span(
+            "apply_delta",
+            backend=self.name,
+            relations=len(delta.relations()),
+            rows_deleted=delta.delete_count(),
+            rows_inserted=delta.insert_count(),
+        ):
+            store = getattr(self._database, "_columnar_store", None)
+            pre_version = self._database.version
+            apply_delta_to_database(self._database, delta)
+            if (
+                isinstance(store, ColumnarDatabase)
+                and store.database is self._database
+                and store.version == pre_version
+            ):
+                store.apply_delta(delta, self._database.version)
+            self._registered_version = self._database.version
+
+    def _check_not_stale(self) -> None:
+        if self._database.version != self._registered_version:
+            raise ExecutionError(
+                "database mutated since registration "
+                f"(version {self._database.version} != registered "
+                f"{self._registered_version}); route mutations through "
+                "Backend.apply_delta so derived state stays consistent"
+            )
+
     def execute(self, program: Program) -> BackendResult:
         with obs.span("execute", backend=self.name, executor=self._executor_name) as sp:
+            self._check_not_stale()
             if self._use_columnar():
-                # Re-resolve per call: the store rebuilds itself if the
-                # database mutated since registration (version counter).
                 executor = ColumnarExecutor(
                     columnar_store(self._database), lazy=self._lazy
                 )

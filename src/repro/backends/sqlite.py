@@ -43,7 +43,10 @@ import sqlite3
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids a cycle)
+    from repro.live.delta import ShredDelta
 
 from repro import obs
 from repro.backends.base import Backend, BackendResult, PreparedProgram, normalize_rows
@@ -268,6 +271,59 @@ class SqliteBackend(Backend):
                 [tuple(str(value) for value in row) for row in relation.rows],
             )
         connection.commit()
+
+    # -- live updates ------------------------------------------------------------
+
+    def apply_delta(self, delta: "ShredDelta") -> None:
+        """Apply a shred delta as DELETE/INSERT batches in one transaction.
+
+        Deletes match full rows (every column in the ``WHERE`` clause —
+        shredded rows are unique per relation, so this removes exactly one
+        row each); inserts reuse the bulk-load path.  Any SQLite failure
+        rolls the whole transaction back, so the loaded tables never expose
+        a half-applied mutation.  The in-memory :class:`Database` the
+        backend was built from is kept in sync afterwards: it is the
+        recovery source when the backend is rebuilt in a fresh process.
+        """
+        from repro.live.delta import apply_delta_to_database
+
+        connection = self._conn()
+        with obs.span(
+            "apply_delta",
+            backend=self.name,
+            relations=len(delta.relations()),
+            rows_deleted=delta.delete_count(),
+            rows_inserted=delta.insert_count(),
+        ):
+            # Validate against (and update) the Python-side database first:
+            # a delta that does not apply cleanly there must not reach SQLite.
+            apply_delta_to_database(self._database, delta)
+            try:
+                cursor = connection.cursor()
+                if not connection.in_transaction:
+                    cursor.execute("BEGIN")
+                for name in delta.relations():
+                    columns = self._database.schema.relation(name).columns
+                    removals = delta.deletes.get(name, frozenset())
+                    if removals:
+                        predicate = " AND ".join(
+                            f"{_quoted(column)} = ?" for column in columns
+                        )
+                        cursor.executemany(
+                            f"DELETE FROM {_quoted(name)} WHERE {predicate}",
+                            [tuple(str(value) for value in row) for row in removals],
+                        )
+                    additions = delta.inserts.get(name, frozenset())
+                    if additions:
+                        placeholders = ", ".join("?" * len(columns))
+                        cursor.executemany(
+                            f"INSERT INTO {_quoted(name)} VALUES ({placeholders})",
+                            [tuple(str(value) for value in row) for row in additions],
+                        )
+                connection.commit()
+            except sqlite3.Error as exc:
+                connection.rollback()
+                raise ExecutionError(f"sqlite delta application failed: {exc}") from exc
 
     # -- execution ---------------------------------------------------------------
 

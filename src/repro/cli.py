@@ -109,6 +109,25 @@ This module is CLI plumbing, not public API — scripts should import
     engine under every descendant strategy and optimisation setting, and
     SQLite; disagreements are auto-shrunk to minimal repros and optionally
     saved as a replayable JSON corpus (``--save-failures``, ``--replay``).
+    ``--mutations`` switches to mutation fuzzing: each case additionally
+    applies a random schema-valid mutation script and every engine answers
+    twice — once through the incremental delta path and once over a
+    from-scratch reshred of the mutated tree — so an unsound delta shows up
+    as a cross-arm disagreement.
+
+``mutate``
+    Generate a document, register it with the query service, push a seeded
+    random mutation script through the live-update path
+    (:meth:`~repro.service.QueryService.update_document`) and print the
+    delta summary plus a query's answers before and after — the CLI face
+    of :mod:`repro.live`.
+
+``bench-updates``
+    Measure incremental live updates (merged delta + ``apply_delta`` +
+    cache invalidation + warm re-query) against full re-registration on
+    the dept/cross/gedml workloads and optionally write the
+    ``BENCH_8.json`` report (``--out``); ``--quick`` is the tiny-budget CI
+    smoke configuration.
 
 Examples
 --------
@@ -133,6 +152,9 @@ Examples
     python -m repro bench-serving --quick --out BENCH_5.json
     python -m repro bench-executor --quick --out BENCH_6.json
     python -m repro bench-emission --quick --out BENCH_7.json
+    python -m repro mutate dept "dept//project" --mutations 8
+    python -m repro fuzz --mutations --budget 50
+    python -m repro bench-updates --quick --out BENCH_8.json
     python -m repro answer cross "a//d" --executor tuple
     python -m repro answer cross "a//d" --backend sqlite --emission single
     python -m repro translate cross "a//d" --strategy interval --dialect sqlite --emission single
@@ -446,6 +468,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="PATH", default=None,
         help="replay a saved corpus (a .json case file or a directory) instead of fuzzing",
     )
+    fuzz.add_argument(
+        "--mutations", action="store_true",
+        help="mutation fuzzing: apply a random valid mutation script per case and "
+             "check the incremental delta path against a from-scratch reshred",
+    )
+    fuzz.add_argument(
+        "--mutations-per-case", type=int, default=4,
+        help="mutation script length per case (with --mutations; default: 4)",
+    )
+
+    mutate = commands.add_parser(
+        "mutate",
+        help="apply a random mutation script through the live-update path",
+        parents=[_engine_flags(strategy=True, backend=True, optimize=True)],
+    )
+    mutate.add_argument("dtd", help="paper DTD name or file path")
+    mutate.add_argument("query", help="XPath query answered before and after the script")
+    mutate.add_argument("--elements", type=int, default=500, help="approximate document size")
+    mutate.add_argument("--seed", type=int, default=0, help="document generator seed")
+    mutate.add_argument("--x-l", type=int, default=10, help="maximum levels (X_L)")
+    mutate.add_argument("--x-r", type=int, default=4, help="maximum repetition (X_R)")
+    mutate.add_argument("--mutations", type=int, default=8, help="mutation script length")
+    mutate.add_argument(
+        "--mutation-seed", type=int, default=0, help="mutation generator seed"
+    )
+    mutate.add_argument(
+        "--limit", type=int, default=10, help="print at most this many matches per side"
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -602,6 +652,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench_optimizer.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the JSON report (BENCH_4.json format) to PATH",
+    )
+
+    bench_updates = commands.add_parser(
+        "bench-updates",
+        help="measure incremental live updates vs full re-registration",
+    )
+    bench_updates.add_argument(
+        "--elements", type=int, default=None,
+        help="document element budget (default: 2000, or the --quick budget)",
+    )
+    bench_updates.add_argument(
+        "--rounds", type=int, default=None,
+        help="update rounds per workload cell (default: 5, or the --quick budget)",
+    )
+    bench_updates.add_argument(
+        "--mutations", type=int, default=None,
+        help="mutations per round (default: 8, or the --quick budget)",
+    )
+    bench_updates.add_argument(
+        "--quick", action="store_true",
+        help="tiny-budget defaults (CI smoke); explicit flags still override",
+    )
+    bench_updates.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report (BENCH_8.json format) to PATH",
     )
 
     return parser
@@ -1050,8 +1125,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
 
     if args.replay:
+        oracle = None
+        if args.mutations:
+            from repro.live.fuzzer import MutationOracle
+
+            oracle = MutationOracle(engines)
         try:
-            outcomes = replay_corpus(args.replay, engines)
+            outcomes = replay_corpus(args.replay, engines, oracle=oracle)
         except (FileNotFoundError, ValueError) as exc:
             raise SystemExit(f"cannot replay {args.replay!r}: {exc}") from None
         for outcome in outcomes:
@@ -1070,6 +1150,27 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         raise SystemExit("--max-types must be >= --min-types")
     if args.max_cycle_edges < 0:
         raise SystemExit("--max-cycle-edges must be >= 0")
+
+    if args.mutations:
+        from repro.live.fuzzer import MutationFuzzConfig, run_mutation_fuzz
+
+        if args.mutations_per_case < 1:
+            raise SystemExit("--mutations-per-case must be >= 1")
+        mutation_config = MutationFuzzConfig(
+            seed=args.seed,
+            budget=args.budget,
+            queries_per_dtd=args.queries_per_dtd,
+            min_types=args.min_types,
+            max_types=args.max_types,
+            max_cycle_edges=args.max_cycle_edges,
+            document=DocumentSpec(x_l=args.x_l, x_r=args.x_r, max_elements=args.elements),
+            mutations_per_case=args.mutations_per_case,
+            corpus_dir=args.save_failures,
+        )
+        report = run_mutation_fuzz(mutation_config, engines)
+        print(report.describe())
+        return 0 if report.ok else 1
+
     config = FuzzConfig(
         seed=args.seed,
         budget=args.budget,
@@ -1084,6 +1185,101 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     report = run_fuzz(config, engines)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.live.fuzzer import MutationGenConfig, RandomMutationGenerator
+    from repro.service import QueryService
+
+    if args.mutations < 1:
+        raise SystemExit("--mutations must be >= 1")
+    dtd = _load_dtd(args.dtd)
+    document = generate_document(
+        dtd, x_l=args.x_l, x_r=args.x_r, seed=args.seed, max_elements=args.elements
+    )
+    generator = RandomMutationGenerator(
+        dtd,
+        random.Random(args.mutation_seed),
+        MutationGenConfig(mutations=args.mutations),
+    )
+    script = generator.script(document)
+    if not script:
+        raise SystemExit(
+            "could not generate a valid mutation script for this document; "
+            "try another --mutation-seed or a larger --elements budget"
+        )
+    config = engine_config_from_args(args)
+    with QueryService(dtd, config=config) as service:
+        store = service.register_document("doc", document)
+        before = [node.node_id for node in service.answer(args.query, document_id="doc")]
+        with obs.Timer() as timer:
+            summary = service.update_document(script, "doc")
+        after_nodes = service.answer(args.query, document_id="doc")
+        matches = list(after_nodes)
+    print(
+        f"document: {store.shredded.tree.size()} elements after "
+        f"{summary['applied']} mutation(s) in {timer.seconds * 1000:.2f}ms"
+    )
+    for mutation in script:
+        if mutation.op == "insert":
+            where = "append" if mutation.index is None else f"index {mutation.index}"
+            detail = f"<{mutation.subtree[0]}> under node {mutation.parent_id} ({where})"
+        elif mutation.op == "delete":
+            detail = f"subtree at node {mutation.node_id}"
+        else:
+            detail = f"node {mutation.node_id} -> {mutation.value!r}"
+        print(f"  {mutation.op}: {detail}")
+    print(
+        f"delta: {summary['rows_deleted']} row(s) deleted, "
+        f"{summary['rows_inserted']} row(s) inserted across "
+        f"{summary['relations']} relation(s)"
+    )
+    after = [node.node_id for node in matches]
+    print(
+        f"query {args.query!r}: {len(before)} match(es) before, "
+        f"{len(after)} after"
+    )
+    for node in matches[: args.limit]:
+        path = "/".join(node.path_from_root())
+        value = f" = {node.value!r}" if node.value is not None else ""
+        marker = "+" if node.node_id not in set(before) else " "
+        print(f"  {marker} node {node.node_id}: {path}{value}")
+    if len(matches) > args.limit:
+        print(f"  ... and {len(matches) - args.limit} more")
+    return 0
+
+
+def _cmd_bench_updates(args: argparse.Namespace) -> int:
+    from repro.live.bench import (
+        UpdateBenchConfig,
+        describe_report,
+        run_update_benchmark,
+        write_report,
+    )
+
+    from dataclasses import replace
+
+    config = UpdateBenchConfig.quick() if args.quick else UpdateBenchConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("elements", args.elements),
+            ("rounds", args.rounds),
+            ("mutations_per_round", args.mutations),
+        )
+        if value is not None
+    }
+    if any(value < 1 for value in overrides.values()):
+        raise SystemExit("--elements, --rounds and --mutations must be >= 1")
+    config = replace(config, **overrides)
+    report = run_update_benchmark(config)
+    print(describe_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_bench_optimizer(args: argparse.Namespace) -> int:
@@ -1194,9 +1390,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-executor": _cmd_bench_executor,
         "bench-emission": _cmd_bench_emission,
         "bench-optimizer": _cmd_bench_optimizer,
+        "bench-updates": _cmd_bench_updates,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
         "fuzz": _cmd_fuzz,
+        "mutate": _cmd_mutate,
     }
     try:
         return handlers[args.command](args)

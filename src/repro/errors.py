@@ -36,6 +36,15 @@ class ValidationError(ReproError):
     """Raised when an XML tree does not conform to a DTD."""
 
 
+class MutationError(ValidationError):
+    """Raised when a live-document mutation is rejected.
+
+    Covers mutations that would leave the tree non-conforming to its DTD
+    (so the invariant Q(T) = Q'(tau_d(T)) would no longer be checkable),
+    mutations referencing unknown nodes, and malformed mutation payloads.
+    """
+
+
 class RelationalError(ReproError):
     """Problems with relational schemas, instances or algebra programs."""
 

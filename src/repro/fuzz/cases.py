@@ -14,17 +14,21 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path as FilePath
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.xmltree.generator import generate_document
 from repro.xmltree.tree import XMLTree
 
-__all__ = ["DocumentSpec", "FuzzCase", "CASE_FORMAT_VERSION"]
+__all__ = ["DocumentSpec", "FuzzCase", "CASE_FORMAT_VERSION", "SUPPORTED_CASE_FORMATS"]
 
-# Bumped if the JSON layout ever changes incompatibly.
-CASE_FORMAT_VERSION = 1
+# The format written for cases that carry a mutation script.  Version 1
+# (the original read-only triple) is still written when a case has no
+# mutations, so the checked-in regression corpus stays byte-stable and
+# older readers keep working; both versions are accepted on read.
+CASE_FORMAT_VERSION = 2
+SUPPORTED_CASE_FORMATS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -51,12 +55,18 @@ class DocumentSpec:
 
 @dataclass(frozen=True)
 class FuzzCase:
-    """One differential scenario: a DTD, a document recipe and a query."""
+    """One differential scenario: a DTD, a document recipe and a query.
+
+    ``mutations`` (format 2) optionally carries a live-update script — a
+    tuple of :mod:`repro.live.mutations` records applied to the generated
+    document before querying.  Mutation-free cases round-trip as format 1.
+    """
 
     label: str
     dtd_text: str
     query: str
     document: DocumentSpec = field(default_factory=DocumentSpec)
+    mutations: Tuple = ()
 
     # -- materialisation --------------------------------------------------------
 
@@ -65,20 +75,44 @@ class FuzzCase:
         return parse_dtd(self.dtd_text, name=self.label)
 
     def tree(self) -> XMLTree:
-        """Generate the case's document."""
+        """Generate the case's (pre-mutation) document."""
         return self.document.generate(self.dtd())
+
+    def mutated_tree(self) -> XMLTree:
+        """Generate the document and apply the mutation script to it."""
+        from repro.live.mutations import DocumentMutator
+
+        dtd = self.dtd()
+        tree = self.document.generate(dtd)
+        if self.mutations:
+            mutator = DocumentMutator(tree, dtd)
+            for mutation in self.mutations:
+                mutator.apply(mutation)
+        return tree
 
     # -- serialization ----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (JSON-safe)."""
-        return {
-            "format": CASE_FORMAT_VERSION,
+        """Plain-dict form (JSON-safe).
+
+        Cases without mutations serialize as format 1 — byte-identical to
+        the pre-live layout — so the existing corpus never churns.
+        """
+        record: Dict[str, object] = {
+            "format": 1,
             "label": self.label,
             "dtd": self.dtd_text,
             "query": self.query,
             "document": asdict(self.document),
         }
+        if self.mutations:
+            from repro.live.mutations import mutation_to_dict
+
+            record["format"] = CASE_FORMAT_VERSION
+            record["mutations"] = [
+                mutation_to_dict(mutation) for mutation in self.mutations
+            ]
+        return record
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FuzzCase":
@@ -87,8 +121,8 @@ class FuzzCase:
         Malformed input (hand-edited or version-skewed corpus files) raises
         :class:`ValueError` with a description, never a raw KeyError.
         """
-        version = data.get("format", CASE_FORMAT_VERSION)
-        if version != CASE_FORMAT_VERSION:
+        version = data.get("format", 1)
+        if version not in SUPPORTED_CASE_FORMATS:
             raise ValueError(f"unsupported fuzz-case format {version!r}")
         missing = [key for key in ("label", "dtd", "query") if key not in data]
         if missing:
@@ -109,11 +143,30 @@ class FuzzCase:
             # A string seed would still *run* (random.Random accepts it) but
             # produce a different document, silently breaking replay fidelity.
             raise ValueError(f"fuzz-case document knob(s) {wrong_type} must be integers")
+        mutation_data = data.get("mutations", [])
+        if version == 1 and mutation_data:
+            raise ValueError("format-1 fuzz cases cannot carry mutations")
+        if not isinstance(mutation_data, list):
+            raise ValueError(
+                f"fuzz-case mutations must be a list, got {mutation_data!r}"
+            )
+        mutations: Tuple = ()
+        if mutation_data:
+            from repro.errors import MutationError
+            from repro.live.mutations import mutation_from_dict
+
+            try:
+                mutations = tuple(
+                    mutation_from_dict(mutation) for mutation in mutation_data
+                )
+            except MutationError as exc:
+                raise ValueError(f"fuzz-case mutation is malformed: {exc}") from exc
         return cls(
             label=str(data["label"]),
             dtd_text=str(data["dtd"]),
             query=str(data["query"]),
             document=DocumentSpec(**document_data),
+            mutations=mutations,
         )
 
     def to_json(self) -> str:

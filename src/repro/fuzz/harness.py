@@ -226,10 +226,15 @@ def _fuzz_loop(
 def replay_corpus(
     path: Union[str, FilePath],
     engines: Optional[Sequence[EngineSpec]] = None,
+    oracle: Optional[object] = None,
 ) -> List[CaseOutcome]:
     """Re-run saved cases (one ``.json`` file or a directory of them).
 
-    Returns one :class:`CaseOutcome` per case, in file-name order.
+    Returns one :class:`CaseOutcome` per case, in file-name order.  Pass
+    ``oracle`` (anything with ``run(case) -> CaseOutcome``, e.g. a
+    :class:`repro.live.fuzzer.MutationOracle`) to replay with a different
+    arbiter than the default :class:`DifferentialOracle` — mutation-carrying
+    format-2 cases need the mutation oracle's delta/scratch arms.
     """
     root = FilePath(path)
     if root.is_dir():
@@ -238,5 +243,6 @@ def replay_corpus(
         files = [root]
     if not files:
         raise FileNotFoundError(f"no fuzz cases found under {root}")
-    oracle = DifferentialOracle(engines)
-    return [oracle.run(FuzzCase.load(file)) for file in files]
+    if oracle is None:
+        oracle = DifferentialOracle(engines)
+    return [oracle.run(FuzzCase.load(file)) for file in files]  # type: ignore[attr-defined]

@@ -318,6 +318,14 @@ class DifferentialOracle:
     def run(self, case: FuzzCase) -> CaseOutcome:
         """Answer ``case`` on every engine; collect disagreements."""
         outcome = CaseOutcome(case=case)
+        if case.mutations:
+            # Silently answering only the base document would report
+            # "agree" without exercising the script the case exists for.
+            outcome.setup_error = (
+                "case carries a mutation script; replay it with the mutation "
+                "oracle (repro fuzz --mutations --replay ...)"
+            )
+            return outcome
         try:
             dtd = case.dtd()
             tree = case.tree()

@@ -1,0 +1,253 @@
+"""The live-update benchmark: incremental deltas vs full re-registration.
+
+One harness feeds both ``repro bench-updates`` and
+``benchmarks/test_bench_updates.py`` (which writes the repo's baseline
+``BENCH_8.json``), so the CLI smoke run in CI and the asserted benchmark
+measure the same scenario.
+
+For every paper workload (dept, cross, gedml) and backend, two services
+answer the same warm query set and absorb the same mutation scripts:
+
+* the **incremental** service routes each script through
+  :meth:`~repro.service.QueryService.update_document` — DTD validation,
+  a merged :class:`~repro.live.delta.ShredDelta`, ``Backend.apply_delta``
+  and result-cache invalidation — then re-answers every query;
+* the **full** service pays the pre-live path for the same change: apply
+  the script to the tree, drop the store (``unregister_document``) and
+  re-register, re-shredding the whole document and rebuilding the backend,
+  then re-answer every query.
+
+Both arms must return identical node ids every round, and the final
+incremental tree must answer exactly like the XPath evaluator
+(``results_match``) — an update path that got faster by diverging must
+fail loudly.
+"""
+
+from __future__ import annotations
+
+import gc
+import itertools
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.live.fuzzer import MutationGenConfig, RandomMutationGenerator
+from repro.live.mutations import DocumentMutator
+from repro.service.bench import ServiceBenchConfig, _workloads
+from repro.service.service import QueryService
+from repro.xpath.evaluator import evaluate_xpath
+from repro.xpath.parser import parse_xpath
+
+__all__ = [
+    "UpdateBenchConfig",
+    "run_update_benchmark",
+    "write_report",
+    "describe_report",
+]
+
+BENCH_NAME = "live-updates"
+BENCH_ISSUE = 10
+
+
+@dataclass(frozen=True)
+class UpdateBenchConfig:
+    """Knobs of one benchmark run (the defaults are the committed baseline)."""
+
+    elements: int = 2000
+    rounds: int = 5
+    mutations_per_round: int = 8
+    # Queries re-answered inside each round's timed section (round-robin
+    # over the workload set) — the working set a serving tier re-answers
+    # right after an update.  Correctness is still checked over the full
+    # query set every round, outside the timers.
+    queries_per_round: int = 2
+    seed: int = 11
+    backends: Tuple[str, ...] = ("memory", "sqlite")
+
+    @classmethod
+    def quick(cls) -> "UpdateBenchConfig":
+        """A tiny-budget configuration for CI smoke runs."""
+        return cls(elements=300, rounds=2, mutations_per_round=4, queries_per_round=2)
+
+
+def _node_ids(nodes) -> Tuple[int, ...]:
+    return tuple(node.node_id for node in nodes)
+
+
+def _bench_workload(
+    config: UpdateBenchConfig, label: str, dtd, queries: Dict[str, str], tree, backend: str
+) -> Dict[str, object]:
+    """One (workload, backend) cell: timed rounds of update + warm re-query."""
+    rng = random.Random(config.seed)
+    generator = RandomMutationGenerator(
+        dtd, rng, MutationGenConfig(mutations=config.mutations_per_round)
+    )
+    # ``shadow`` is the state both arms must track; scripts are generated
+    # against it, and it doubles as the full arm's re-registered tree.
+    shadow = tree.copy()
+    query_list = list(queries.values())
+
+    with QueryService(dtd, backend=backend) as incremental, QueryService(
+        dtd, backend=backend
+    ) as full:
+        incremental.register_document(label, tree.copy())
+        full.register_document(label, shadow)
+        for query in query_list:  # warm plans, prepared programs, result LRUs
+            incremental.answer(query, document_id=label)
+            full.answer(query, document_id=label)
+
+        incremental_update_seconds = 0.0
+        incremental_requery_seconds = 0.0
+        full_update_seconds = 0.0
+        full_requery_seconds = 0.0
+        mutations_applied = 0
+        rounds_match = True
+        requery = itertools.cycle(query_list)
+        for round_index in range(config.rounds):
+            script = generator.script(shadow)
+            if not script:
+                continue
+            mutations_applied += len(script)
+            round_queries = [next(requery) for _ in range(config.queries_per_round)]
+
+            def run_incremental() -> None:
+                nonlocal incremental_update_seconds, incremental_requery_seconds
+                # Collect first so allocator debt from the previous phase is
+                # not billed to whichever arm happens to run next.
+                gc.collect()
+                start = time.perf_counter()
+                incremental.update_document(script, label)
+                mid = time.perf_counter()
+                for query in round_queries:
+                    incremental.answer(query, document_id=label)
+                incremental_update_seconds += mid - start
+                incremental_requery_seconds += time.perf_counter() - mid
+
+            def run_full() -> None:
+                # The full arm pays the pre-live path for the same change:
+                # tree edit, then re-shred everything by dropping and
+                # re-registering.
+                nonlocal full_update_seconds, full_requery_seconds
+                gc.collect()
+                start = time.perf_counter()
+                DocumentMutator(shadow, dtd).apply_script(script)
+                full.unregister_document(label)
+                full.register_document(label, shadow)
+                mid = time.perf_counter()
+                for query in round_queries:
+                    full.answer(query, document_id=label)
+                full_update_seconds += mid - start
+                full_requery_seconds += time.perf_counter() - mid
+
+            # Alternate which arm goes first: the round's first cold run pays
+            # a measurable warm-up penalty, and pinning it to one arm skews
+            # the comparison.
+            if round_index % 2 == 0:
+                run_incremental()
+                run_full()
+            else:
+                run_full()
+                run_incremental()
+
+            incremental_answers = [
+                _node_ids(incremental.answer(query, document_id=label))
+                for query in query_list
+            ]
+            full_answers = [
+                _node_ids(full.answer(query, document_id=label))
+                for query in query_list
+            ]
+            rounds_match = rounds_match and incremental_answers == full_answers
+
+        # Final ground-truth check: the incrementally-maintained store must
+        # answer exactly like the evaluator on the mutated tree.
+        final_tree = incremental.store(label).shredded.tree
+        evaluator_match = all(
+            _node_ids(incremental.answer(query, document_id=label))
+            == _node_ids(
+                sorted(
+                    evaluate_xpath(final_tree, parse_xpath(query)),
+                    key=lambda node: node.node_id,
+                )
+            )
+            for query in query_list
+        )
+
+    incremental_seconds = incremental_update_seconds + incremental_requery_seconds
+    full_seconds = full_update_seconds + full_requery_seconds
+    return {
+        "workload": label,
+        "backend": backend,
+        "document_elements": tree.size(),
+        "queries": len(query_list),
+        "rounds": config.rounds,
+        "mutations_applied": mutations_applied,
+        "incremental_seconds": incremental_seconds,
+        "incremental_update_seconds": incremental_update_seconds,
+        "incremental_requery_seconds": incremental_requery_seconds,
+        "full_seconds": full_seconds,
+        "full_update_seconds": full_update_seconds,
+        "full_requery_seconds": full_requery_seconds,
+        "speedup": full_seconds / incremental_seconds
+        if incremental_seconds
+        else float("inf"),
+        # The update operation in isolation: ShredDelta + apply_delta vs
+        # tree edit + full re-shred + backend rebuild.  This is the number
+        # the incremental path exists to improve; ``speedup`` also includes
+        # the warm re-query time both arms share.
+        "update_speedup": full_update_seconds / incremental_update_seconds
+        if incremental_update_seconds
+        else float("inf"),
+        "results_match": rounds_match and evaluator_match,
+    }
+
+
+def run_update_benchmark(config: Optional[UpdateBenchConfig] = None) -> Dict[str, object]:
+    """Run every (workload, backend) cell and return the report."""
+    config = config or UpdateBenchConfig()
+    service_config = ServiceBenchConfig(elements=config.elements, seed=config.seed)
+    cells: List[Dict[str, object]] = []
+    for label, dtd, queries, tree in _workloads(service_config):
+        for backend in config.backends:
+            cells.append(
+                _bench_workload(config, label, dtd, queries, tree, backend)
+            )
+    report: Dict[str, object] = {
+        "bench": BENCH_NAME,
+        "issue": BENCH_ISSUE,
+        "created_unix": int(time.time()),
+        "config": asdict(config),
+        "scenarios": {"update_vs_reregister": cells},
+        "ok": all(cell["results_match"] for cell in cells),
+    }
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write a report as pretty-printed JSON (the ``BENCH_8.json`` format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def describe_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI output)."""
+    lines = [
+        f"live-update benchmark ({report['bench']}, "
+        f"{report['config']['elements']} elements, "
+        f"{report['config']['rounds']} round(s) of "
+        f"{report['config']['mutations_per_round']} mutation(s))"
+    ]
+    for cell in report["scenarios"]["update_vs_reregister"]:
+        lines.append(
+            f"  {cell['workload']}/{cell['backend']}: "
+            f"incremental {cell['incremental_seconds']:.3f}s "
+            f"vs full re-register {cell['full_seconds']:.3f}s "
+            f"({cell['speedup']:.1f}x overall, "
+            f"{cell['update_speedup']:.1f}x on the update itself, "
+            f"{cell['mutations_applied']} mutations)"
+        )
+    lines.append(f"  results match: {report['ok']}")
+    return "\n".join(lines)

@@ -1,0 +1,447 @@
+"""Typed, DTD-validated mutations over live documents.
+
+Three mutation kinds cover the update workload:
+
+* :class:`InsertSubtree` — graft a new conforming subtree under a parent,
+* :class:`DeleteSubtree` — remove a node and everything below it,
+* :class:`ReplaceText` — change (or clear) a text node's PCDATA value.
+
+:class:`DocumentMutator` owns a tree and validates every mutation against
+the DTD *before* touching anything: an insert must keep the parent's child
+sequence inside its content model and the grafted subtree must conform
+recursively; a delete must leave the remaining siblings matching the model
+and may not remove the root; a text replacement is only allowed on declared
+text types.  A rejected mutation raises :class:`~repro.errors.MutationError`
+and leaves the tree untouched.
+
+Each accepted mutation yields a :class:`~repro.live.delta.ShredDelta` — the
+exact row-level difference between shredding the tree before and after the
+mutation, including the renumbered ``DOC_ORDER`` interval rows — so backends
+can apply the change without re-shredding the document.
+
+Subtrees travel as hashable nested tuples ``(label, value, (child, ...))``
+so mutation records stay frozen (and therefore usable inside frozen
+:class:`~repro.fuzz.cases.FuzzCase` instances); JSON payloads use the
+equivalent ``{"label", "value", "children"}`` object form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
+from repro.dtd.model import DTD
+from repro.errors import MutationError, ShreddingError
+from repro.live.delta import ShredDelta, merge_deltas
+from repro.relational.schema import DOC_ORDER
+from repro.shredding.inlining import MISSING_VALUE, ROOT_PARENT, SimpleMapping
+from repro.shredding.shredder import interval_numbering
+from repro.xmltree.tree import XMLNode, XMLTree
+from repro.xmltree.validator import matches_model
+
+__all__ = [
+    "SubtreeSpec",
+    "InsertSubtree",
+    "DeleteSubtree",
+    "ReplaceText",
+    "Mutation",
+    "as_subtree",
+    "subtree_to_dict",
+    "subtree_from_dict",
+    "mutation_to_dict",
+    "mutation_from_dict",
+    "DocumentMutator",
+]
+
+# (label, value-or-None, (child spec, ...)) — hashable, order-preserving.
+SubtreeSpec = Tuple[str, Optional[str], Tuple["SubtreeSpec", ...]]
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Insert ``subtree`` as a child of ``parent_id`` at ``index`` (append when None)."""
+
+    parent_id: int
+    subtree: SubtreeSpec
+    index: Optional[int] = None
+
+    op = "insert"
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Remove the node ``node_id`` and its entire subtree."""
+
+    node_id: int
+
+    op = "delete"
+
+
+@dataclass(frozen=True)
+class ReplaceText:
+    """Set the text value of ``node_id`` to ``value`` (``None`` clears it)."""
+
+    node_id: int
+    value: Optional[str]
+
+    op = "replace_text"
+
+
+Mutation = Union[InsertSubtree, DeleteSubtree, ReplaceText]
+
+
+# -- subtree specs -------------------------------------------------------------
+
+
+def as_subtree(source: Union[SubtreeSpec, XMLTree, XMLNode, Dict]) -> SubtreeSpec:
+    """Normalise a subtree description into the canonical nested-tuple spec.
+
+    Accepts an :class:`XMLTree` (its root is taken), an :class:`XMLNode`,
+    the JSON object form, or an already-canonical tuple.
+    """
+    if isinstance(source, XMLTree):
+        source = source.root
+    if isinstance(source, XMLNode):
+        return (
+            source.label,
+            source.value,
+            tuple(as_subtree(child) for child in source.children),
+        )
+    if isinstance(source, dict):
+        return subtree_from_dict(source)
+    if isinstance(source, tuple) and len(source) == 3:
+        label, value, children = source
+        if not isinstance(label, str) or not label:
+            raise MutationError(f"subtree label must be a non-empty string, got {label!r}")
+        if value is not None and not isinstance(value, str):
+            raise MutationError(f"subtree value must be a string or None, got {value!r}")
+        if not isinstance(children, (tuple, list)):
+            raise MutationError(f"subtree children must be a sequence, got {children!r}")
+        return (label, value, tuple(as_subtree(child) for child in children))
+    raise MutationError(f"invalid subtree spec {source!r}")
+
+
+def subtree_to_dict(spec: SubtreeSpec) -> Dict:
+    """JSON object form of a subtree spec."""
+    label, value, children = spec
+    return {
+        "label": label,
+        "value": value,
+        "children": [subtree_to_dict(child) for child in children],
+    }
+
+
+def subtree_from_dict(payload: Dict) -> SubtreeSpec:
+    """Parse the JSON object form back into a nested-tuple spec."""
+    if not isinstance(payload, dict):
+        raise MutationError(f"subtree must be an object, got {payload!r}")
+    unknown = set(payload) - {"label", "value", "children"}
+    if unknown:
+        raise MutationError(f"unknown subtree keys {sorted(unknown)}")
+    label = payload.get("label")
+    if not isinstance(label, str) or not label:
+        raise MutationError(f"subtree 'label' must be a non-empty string, got {label!r}")
+    value = payload.get("value")
+    if value is not None and not isinstance(value, str):
+        raise MutationError(f"subtree 'value' must be a string or null, got {value!r}")
+    children = payload.get("children", [])
+    if not isinstance(children, list):
+        raise MutationError(f"subtree 'children' must be a list, got {children!r}")
+    return (label, value, tuple(subtree_from_dict(child) for child in children))
+
+
+def subtree_size(spec: SubtreeSpec) -> int:
+    """Number of nodes in a subtree spec."""
+    _, _, children = spec
+    return 1 + sum(subtree_size(child) for child in children)
+
+
+# -- mutation (de)serialization -------------------------------------------------
+
+
+def mutation_to_dict(mutation: Mutation) -> Dict:
+    """JSON object form of a mutation (the ``POST /update`` wire format)."""
+    if isinstance(mutation, InsertSubtree):
+        return {
+            "op": "insert",
+            "parent": mutation.parent_id,
+            "index": mutation.index,
+            "subtree": subtree_to_dict(mutation.subtree),
+        }
+    if isinstance(mutation, DeleteSubtree):
+        return {"op": "delete", "node": mutation.node_id}
+    if isinstance(mutation, ReplaceText):
+        return {"op": "replace_text", "node": mutation.node_id, "value": mutation.value}
+    raise MutationError(f"unknown mutation {mutation!r}")
+
+
+def _require_int(payload: Dict, key: str) -> int:
+    value = payload.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise MutationError(f"mutation {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def mutation_from_dict(payload: Dict) -> Mutation:
+    """Parse a mutation object; raises :class:`MutationError` on bad payloads."""
+    if not isinstance(payload, dict):
+        raise MutationError(f"mutation must be an object, got {payload!r}")
+    op = payload.get("op")
+    if op == "insert":
+        unknown = set(payload) - {"op", "parent", "index", "subtree"}
+        if unknown:
+            raise MutationError(f"unknown mutation keys {sorted(unknown)}")
+        index = payload.get("index")
+        if index is not None and (not isinstance(index, int) or isinstance(index, bool)):
+            raise MutationError(f"mutation 'index' must be an integer or null, got {index!r}")
+        return InsertSubtree(
+            parent_id=_require_int(payload, "parent"),
+            subtree=subtree_from_dict(payload.get("subtree")),
+            index=index,
+        )
+    if op == "delete":
+        unknown = set(payload) - {"op", "node"}
+        if unknown:
+            raise MutationError(f"unknown mutation keys {sorted(unknown)}")
+        return DeleteSubtree(node_id=_require_int(payload, "node"))
+    if op == "replace_text":
+        unknown = set(payload) - {"op", "node", "value"}
+        if unknown:
+            raise MutationError(f"unknown mutation keys {sorted(unknown)}")
+        value = payload.get("value")
+        if value is not None and not isinstance(value, str):
+            raise MutationError(f"mutation 'value' must be a string or null, got {value!r}")
+        return ReplaceText(node_id=_require_int(payload, "node"), value=value)
+    raise MutationError(f"unknown mutation op {op!r}")
+
+
+# -- the mutator ----------------------------------------------------------------
+
+
+class DocumentMutator:
+    """Validate mutations against a DTD, apply them to a tree, emit deltas.
+
+    The mutator assumes the tree's shredded database (if one exists) equals
+    ``shred_document(tree, dtd, mapping)`` at construction time; every delta
+    it returns preserves that equality.  Only the simple mapping is
+    supported — shared inlining folds several element types into one
+    relation and is not incrementally maintainable row-by-row here.
+    """
+
+    def __init__(
+        self,
+        tree: XMLTree,
+        dtd: DTD,
+        mapping: Optional[SimpleMapping] = None,
+    ) -> None:
+        mapping = mapping if mapping is not None else SimpleMapping(dtd)
+        probe = mapping.relation_for(dtd.root)
+        if not isinstance(probe, str):
+            raise ShreddingError(
+                "incremental re-shredding supports the simple mapping only; "
+                f"got {type(mapping).__name__} producing {type(probe).__name__}"
+            )
+        self._tree = tree
+        self._dtd = dtd
+        self._mapping = mapping
+        self._track_order = mapping.database_schema().has_relation(DOC_ORDER)
+        self._order: Set[Tuple] = (
+            set(interval_numbering(tree)) if self._track_order else set()
+        )
+        self._order_deferred = False
+        self.applied = 0
+
+    @property
+    def tree(self) -> XMLTree:
+        """The live tree (mutated in place by :meth:`apply`)."""
+        return self._tree
+
+    # -- public mutation API ----------------------------------------------------
+
+    def insert_subtree(
+        self,
+        parent: Union[XMLNode, int],
+        subtree: Union[SubtreeSpec, XMLTree, XMLNode, Dict],
+        index: Optional[int] = None,
+    ) -> ShredDelta:
+        """Validate and apply an insert; returns its delta."""
+        parent_id = parent.node_id if isinstance(parent, XMLNode) else parent
+        return self.apply(InsertSubtree(parent_id, as_subtree(subtree), index))
+
+    def delete_subtree(self, node: Union[XMLNode, int]) -> ShredDelta:
+        """Validate and apply a delete; returns its delta."""
+        node_id = node.node_id if isinstance(node, XMLNode) else node
+        return self.apply(DeleteSubtree(node_id))
+
+    def replace_text(self, node: Union[XMLNode, int], value: Optional[str]) -> ShredDelta:
+        """Validate and apply a text replacement; returns its delta."""
+        node_id = node.node_id if isinstance(node, XMLNode) else node
+        return self.apply(ReplaceText(node_id, value))
+
+    def apply(self, mutation: Mutation) -> ShredDelta:
+        """Validate ``mutation``, apply it to the tree, return its delta."""
+        if isinstance(mutation, InsertSubtree):
+            delta = self._apply_insert(mutation)
+        elif isinstance(mutation, DeleteSubtree):
+            delta = self._apply_delete(mutation)
+        elif isinstance(mutation, ReplaceText):
+            delta = self._apply_replace_text(mutation)
+        else:
+            raise MutationError(f"unknown mutation {mutation!r}")
+        self.applied += 1
+        obs.registry().counter("live.mutations").inc()
+        return delta
+
+    def apply_script(self, mutations: Sequence[Mutation]) -> ShredDelta:
+        """Apply a mutation sequence, returning the merged delta.
+
+        A failing mutation raises after the preceding ones were applied; use
+        per-mutation :meth:`apply` when the caller needs the partial delta.
+        ``DOC_ORDER`` renumbering is diffed once for the whole script (see
+        :meth:`defer_order`), not once per mutation.
+        """
+        delta = ShredDelta()
+        self.defer_order()
+        try:
+            for mutation in mutations:
+                delta = merge_deltas(delta, self.apply(mutation))
+        finally:
+            delta = merge_deltas(delta, self.flush_order())
+        return delta
+
+    def defer_order(self) -> None:
+        """Suspend per-mutation ``DOC_ORDER`` diffing until :meth:`flush_order`.
+
+        One structural mutation shifts the pre/post ranks of every node after
+        the edit point, so diffing the renumbering per mutation makes a
+        k-mutation script pay k full renumbering passes.  Deferring collapses
+        them into a single start-vs-end diff — deltas returned by
+        :meth:`apply` meanwhile carry no ``DOC_ORDER`` rows, and the caller
+        must merge :meth:`flush_order`'s delta before applying anything to a
+        backend.
+        """
+        self._order_deferred = True
+
+    def flush_order(self) -> ShredDelta:
+        """Resume order tracking; return the ``DOC_ORDER`` diff accrued while deferred."""
+        self._order_deferred = False
+        deletes: Dict[str, Set[Tuple]] = {}
+        inserts: Dict[str, Set[Tuple]] = {}
+        self._order_delta(deletes, inserts)
+        return ShredDelta.build(deletes, inserts)
+
+    # -- internals --------------------------------------------------------------
+
+    def _node(self, node_id: int) -> XMLNode:
+        try:
+            return self._tree.node(node_id)
+        except KeyError:
+            raise MutationError(f"unknown node id {node_id}") from None
+
+    def _row(self, node: XMLNode) -> Tuple:
+        parent = ROOT_PARENT if node.parent is None else node.parent.node_id
+        value = MISSING_VALUE if node.value is None else node.value
+        return (parent, node.node_id, value)
+
+    def _model_allows(self, parent_label: str, labels: Sequence[str]) -> bool:
+        return matches_model(self._dtd.production(parent_label), labels)
+
+    def _validate_spec(self, spec: SubtreeSpec) -> None:
+        label, value, children = spec
+        if not self._dtd.has_type(label):
+            raise MutationError(f"element type {label!r} is not declared in the DTD")
+        if value is not None and label not in self._dtd.text_types:
+            raise MutationError(f"element type {label!r} does not carry text")
+        if not self._model_allows(label, [child[0] for child in children]):
+            raise MutationError(
+                f"children {[child[0] for child in children]} do not match the "
+                f"content model of {label!r}"
+            )
+        for child in children:
+            self._validate_spec(child)
+
+    def _order_delta(
+        self, deletes: Dict[str, Set[Tuple]], inserts: Dict[str, Set[Tuple]]
+    ) -> None:
+        """Diff the recomputed interval numbering into the delta maps."""
+        if not self._track_order or self._order_deferred:
+            return
+        new_order = set(interval_numbering(self._tree))
+        gone = self._order - new_order
+        fresh = new_order - self._order
+        if gone:
+            deletes[DOC_ORDER] = gone
+        if fresh:
+            inserts[DOC_ORDER] = fresh
+        self._order = new_order
+
+    def _apply_insert(self, mutation: InsertSubtree) -> ShredDelta:
+        parent = self._node(mutation.parent_id)
+        spec = as_subtree(mutation.subtree)
+        index = mutation.index
+        if index is not None and (index < 0 or index > len(parent.children)):
+            raise MutationError(
+                f"insert index {index} out of range for {len(parent.children)} children"
+            )
+        sequence = [child.label for child in parent.children]
+        sequence.insert(len(sequence) if index is None else index, spec[0])
+        if not self._model_allows(parent.label, sequence):
+            raise MutationError(
+                f"inserting {spec[0]!r} leaves the children of {parent.label!r} "
+                f"outside its content model"
+            )
+        self._validate_spec(spec)
+
+        inserts: Dict[str, Set[Tuple]] = {}
+        deletes: Dict[str, Set[Tuple]] = {}
+
+        def graft(under: XMLNode, node_spec: SubtreeSpec, at: Optional[int]) -> None:
+            label, value, children = node_spec
+            node = self._tree.insert_child(under, label, value, index=at)
+            inserts.setdefault(self._mapping.relation_for(label), set()).add(self._row(node))
+            for child_spec in children:
+                graft(node, child_spec, None)
+
+        graft(parent, spec, index)
+        self._order_delta(deletes, inserts)
+        return ShredDelta.build(deletes, inserts)
+
+    def _apply_delete(self, mutation: DeleteSubtree) -> ShredDelta:
+        node = self._node(mutation.node_id)
+        if node.parent is None:
+            raise MutationError("cannot delete the document root")
+        parent = node.parent
+        remaining = [child.label for child in parent.children if child is not node]
+        if not self._model_allows(parent.label, remaining):
+            raise MutationError(
+                f"deleting node {node.node_id} ({node.label!r}) leaves the "
+                f"children of {parent.label!r} outside its content model"
+            )
+        deletes: Dict[str, Set[Tuple]] = {}
+        inserts: Dict[str, Set[Tuple]] = {}
+        for gone in node.descendants_or_self():
+            deletes.setdefault(self._mapping.relation_for(gone.label), set()).add(
+                self._row(gone)
+            )
+        self._tree.remove_subtree(node)
+        self._order_delta(deletes, inserts)
+        return ShredDelta.build(deletes, inserts)
+
+    def _apply_replace_text(self, mutation: ReplaceText) -> ShredDelta:
+        node = self._node(mutation.node_id)
+        value = mutation.value
+        if value is not None:
+            if not isinstance(value, str):
+                raise MutationError(f"text value must be a string or None, got {value!r}")
+            if node.label not in self._dtd.text_types:
+                raise MutationError(
+                    f"element type {node.label!r} does not carry text"
+                )
+        old_row = self._row(node)
+        node.value = value
+        new_row = self._row(node)
+        if old_row == new_row:
+            return ShredDelta()
+        relation = self._mapping.relation_for(node.label)
+        return ShredDelta.build({relation: {old_row}}, {relation: {new_row}})

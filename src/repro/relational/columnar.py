@@ -36,7 +36,7 @@ import threading
 import time
 import weakref
 from bisect import bisect_left, bisect_right
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.errors import ExecutionError, SchemaError
@@ -328,6 +328,52 @@ class ColumnarDatabase:
                 rows.update(zip(t_col, t_col, v_col))
             self._identity = ColumnarRelation(NODE_COLUMNS, rows=rows, name="R_id")
         return self._identity
+
+    def apply_delta(self, delta: object, version: int) -> None:
+        """Patch the encoding in place from a live-update row delta.
+
+        ``delta`` is duck-typed (:class:`repro.live.delta.ShredDelta`): two
+        mappings ``deletes`` / ``inserts`` from relation name to sets of
+        value rows.  Only the touched relations are re-materialized — the
+        shared dictionary is append-only so every existing code stays valid,
+        and untouched relations keep their encodings *and* their memoized
+        join structures.  The identity relation is rebuilt only when a node
+        relation changed, and the per-program temporaries are dropped
+        wholesale (they may read any relation).  ``version`` is the database
+        version counter after the delta was applied to the row store;
+        adopting it keeps :func:`columnar_store` returning this patched
+        store instead of re-encoding from scratch.
+
+        Relations where the delta is as large as the relation itself (the
+        common case for ``DOC_ORDER``, whose pre/post numbers shift globally
+        on any structural edit) are re-encoded wholesale from the row store
+        — encoding ``n`` final rows beats encoding ``2n`` delta rows on top
+        of a full set copy.
+        """
+        encode = self._dictionary.encode
+        deletes: Mapping[str, Iterable[Tuple]] = delta.deletes  # type: ignore[attr-defined]
+        inserts: Mapping[str, Iterable[Tuple]] = delta.inserts  # type: ignore[attr-defined]
+        node_relations = set(self._database.schema.node_relations)
+        for name in set(deletes) | set(inserts):
+            old = self._relations.get(name)
+            if old is None:
+                continue
+            delete_rows = deletes.get(name, ())
+            insert_rows = inserts.get(name, ())
+            if len(delete_rows) + len(insert_rows) >= len(old):
+                current = self._database.relation(name)
+                rows = {tuple(map(encode, row)) for row in current.rows}
+            else:
+                rows = set(old.rows())
+                for row in delete_rows:
+                    rows.discard(tuple(map(encode, row)))
+                for row in insert_rows:
+                    rows.add(tuple(map(encode, row)))
+            self._relations[name] = ColumnarRelation(old.columns, rows=rows, name=name)
+            if name in node_relations:
+                self._identity = None
+        self._program_temps.clear()
+        self._version = version
 
     def temps_for(self, program: Program) -> Dict[str, ColumnarRelation]:
         """The materialized-temporary namespace for ``program`` on this store.

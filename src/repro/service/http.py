@@ -14,6 +14,13 @@ Routes
     one :meth:`~repro.service.pool.PoolAnswer.to_dict` body.
 ``POST /batch``
     ``{"queries": [str, ...], "document": str?}`` → ``{"answers": [...]}``.
+``POST /update``
+    ``{"mutations": [<mutation object>, ...], "document": str?}`` — apply a
+    live-document mutation script (see
+    :func:`repro.live.mutations.mutation_from_dict` for the object forms)
+    to every replica owning the document; responds with the delta summary
+    (``applied``, ``rows_deleted``, ``rows_inserted``, ``workers``).
+    Invalid mutations are 400s (:class:`~repro.errors.MutationError`).
 ``GET /stats``
     ``{"http": <server metrics>, "pool": <pool stats>}`` — the pool side
     is merged across workers (:func:`repro.obs.merge_snapshots`).
@@ -204,6 +211,20 @@ class QueryHTTPServer:
                 include_nodes=bool(payload.get("include_nodes", True)),
             )
             return 200, {"answers": [answer.to_dict() for answer in answers]}
+        if method == "POST" and target == "/update":
+            payload = _parse_json_body(body)
+            mutations = payload.get("mutations")
+            if not isinstance(mutations, list) or not all(
+                isinstance(mutation, dict) for mutation in mutations
+            ):
+                raise _BadRequest("'mutations' (list of objects) is required")
+            summary = await self._call_pool(
+                self.pool.update_document,
+                mutations,
+                payload.get("document"),
+            )
+            self._metrics.counter("http.updates").inc()
+            return 200, summary
         return 404, {"error": "NotFound", "message": f"no route {method} {target}"}
 
     async def _handle_connection(

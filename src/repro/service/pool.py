@@ -19,8 +19,9 @@ allows — separate processes:
   (:attr:`~repro.backends.base.Backend.process_affine`);
 * worker crashes are detected (per-worker receiver threads notice the
   process dying), the worker is respawned, its documents re-registered
-  from the recipes the parent retains, and the in-flight request retried
-  once;
+  from the recipes the parent retains — with every retained mutation
+  script replayed on top, so live documents recover their updated state —
+  and the in-flight request retried once;
 * workers ship their metrics ``snapshot(include_reservoirs=True)`` home on
   demand and at shutdown, and :meth:`ProcessQueryService.stats` merges
   them with :func:`repro.obs.merge_snapshots`, so counters and latency
@@ -54,6 +55,7 @@ from repro.dtd.model import DTD
 from repro.errors import (
     ConfigError,
     DuplicateDocumentError,
+    MutationError,
     ReproError,
     SessionClosedError,
     UnknownDocumentError,
@@ -61,6 +63,7 @@ from repro.errors import (
     WorkerError,
 )
 from repro.fuzz.cases import DocumentSpec
+from repro.live.mutations import mutation_to_dict
 from repro.xmltree.tree import XMLTree
 
 __all__ = ["PoolAnswer", "ProcessQueryService", "default_start_method"]
@@ -195,6 +198,9 @@ def _worker_main(
                     )
                     for query in queries
                 ]
+            elif kind == "update":
+                document_id, script = message[2], message[3]
+                payload = service.update_document(script, document_id)
             elif kind == "snapshot":
                 payload = registry.snapshot(include_reservoirs=True)
             else:
@@ -360,6 +366,11 @@ class ProcessQueryService:
         # document id -> (payload kind, payload, owner worker indices)
         self._documents: "OrderedDict[str, Tuple[str, Any, Tuple[int, ...]]]"
         self._documents = OrderedDict()
+        # document id -> applied mutation scripts (JSON-safe dicts), in
+        # order.  Retained for the document's lifetime: a respawned worker
+        # replays registration first, then these scripts, so its rebuilt
+        # store converges on the same live state as the surviving replicas.
+        self._mutation_log: Dict[str, List[List[Dict[str, Any]]]] = {}
         self._request_ids = itertools.count(1)
         self._lock = threading.Lock()  # guards workers list + registry + close
         self._closed = False
@@ -447,6 +458,55 @@ class ProcessQueryService:
         """
         return self._register(document_id, "register_spec", spec or DocumentSpec())
 
+    # -- live updates ------------------------------------------------------------
+
+    def update_document(
+        self,
+        mutations: Sequence[Any],
+        document_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Apply a mutation script to *every* replica owning the document.
+
+        Mutations may be :mod:`repro.live.mutations` records or their JSON
+        object forms; the script crosses the queue as plain dicts.  Replica
+        consistency holds because workers are deterministic: every owner
+        starts from the same registered document and applies the same
+        scripts in the same order (updates on one pool serialize through
+        this method), so even a script that fails validation mid-way fails
+        identically everywhere, leaving every replica with the same applied
+        prefix.  The script is appended to the retained mutation log either
+        way — a respawned owner replays registration plus the log and
+        converges on the same state.
+
+        Returns the last owner's summary dict plus the owner indices.
+        """
+        self._check_open()
+        document_id = self._resolve_document(document_id)
+        script: List[Dict[str, Any]] = [
+            mutation if isinstance(mutation, dict) else mutation_to_dict(mutation)
+            for mutation in mutations
+        ]
+        owner_indices = self.owners(document_id)
+        start = time.perf_counter()
+        summary: Dict[str, Any] = {}
+        failure: Optional[MutationError] = None
+        for index in owner_indices:
+            try:
+                summary = self._call(index, "update", document_id, script)
+            except MutationError as exc:
+                failure = exc
+        with self._lock:
+            self._mutation_log.setdefault(document_id, []).append(script)
+        self._metrics.counter("pool.updates").inc()
+        self._metrics.histogram("pool.update_seconds").observe(
+            time.perf_counter() - start
+        )
+        if failure is not None:
+            raise failure
+        summary = dict(summary)
+        summary["workers"] = list(owner_indices)
+        return summary
+
     # -- request plumbing --------------------------------------------------------
 
     def _check_open(self) -> None:
@@ -498,9 +558,21 @@ class ProcessQueryService:
                 for document_id, (kind, payload, owner_indices) in self._documents.items()
                 if worker_index in owner_indices
             ]
+            replay_logs = {
+                document_id: list(self._mutation_log.get(document_id, ()))
+                for document_id, _, _ in to_restore
+            }
         self._metrics.counter("pool.respawns").inc()
         for document_id, kind, payload in to_restore:
             self._request(replacement, kind, document_id, payload)
+            for script in replay_logs.get(document_id, ()):
+                try:
+                    self._request(replacement, "update", document_id, script)
+                except MutationError:
+                    # A script that failed validation originally fails the
+                    # same (deterministic) way on replay; its applied prefix
+                    # is what keeps the replica consistent.
+                    pass
 
     def _resolve_document(self, document_id: Optional[str]) -> str:
         with self._lock:

@@ -14,12 +14,14 @@ registered documents.  Against the stateless one-shot path
   in-memory relations stay resident; the SQLite store keeps a persistent
   connection with DDL applied and rows bulk-loaded exactly once), and every
   store memoizes the *prepared* form of each plan it has executed;
-* **results are cached too** — a registered document is immutable for the
-  store's lifetime, so each store keeps a bounded LRU of
-  (plan key -> backend result): answering a repeated query over the same
-  document is a lookup, not an execution.  This is the layer that makes
-  warm serving fast; disable it with ``result_cache=False`` to measure the
-  plan cache alone;
+* **results are cached too** — a registered document only changes through
+  :meth:`QueryService.update_document`, so each store keeps a bounded LRU
+  of (plan key -> backend result): answering a repeated query over the
+  same document is a lookup, not an execution.  An update drops the
+  store's result LRU (version-aware invalidation) but keeps plans and
+  prepared programs, which depend only on the DTD.  This is the layer that
+  makes warm serving fast; disable it with ``result_cache=False`` to
+  measure the plan cache alone;
 * **answering is thread-safe** — the plan cache and store registry take
   locks only around dictionary operations, the memory engine's reads are
   lock-free, and the SQLite backend hands each thread its own connection,
@@ -35,7 +37,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro import obs
 from repro.api.config import EngineConfig, resolve_engine_config
@@ -49,9 +51,12 @@ from repro.dtd.model import DTD
 from repro.errors import (
     ConfigError,
     DuplicateDocumentError,
+    MutationError,
     SessionClosedError,
     UnknownDocumentError,
 )
+from repro.live.delta import ShredDelta, merge_deltas
+from repro.live.mutations import DocumentMutator, Mutation, mutation_from_dict
 from repro.shredding.inlining import SimpleMapping
 from repro.shredding.shredder import ShreddedDocument
 from repro.xmltree.tree import XMLNode, XMLTree
@@ -64,7 +69,8 @@ class DocumentStore:
     """One registered document: shredded once, backend kept loaded.
 
     The store also memoizes prepared programs and — because the document
-    can never change while registered — finished backend results.  Both are
+    only changes through the service's ``update_document``, which clears
+    them — finished backend results.  Both are
     :class:`PlanCache` instances (one LRU implementation repo-wide) sized
     by the service's plan-cache capacity.  Results are immutable
     (:class:`~repro.backends.base.BackendResult` is frozen), so cache hits
@@ -84,6 +90,28 @@ class DocumentStore:
         self.backend = backend
         self._prepared = PlanCache(prepared_capacity, name="prepared")
         self._results = PlanCache(result_capacity, name="result")
+        # Live-update state: the mutator is created on the first update (it
+        # snapshots the interval numbering), and updates serialize on the
+        # lock so two concurrent mutation scripts cannot interleave.
+        self._mutator: Optional[DocumentMutator] = None
+        self._update_lock = threading.Lock()
+
+    def mutator(self, dtd: DTD) -> DocumentMutator:
+        """This store's document mutator (created on first use)."""
+        if self._mutator is None:
+            self._mutator = DocumentMutator(
+                self.shredded.tree, dtd, mapping=self.shredded.mapping
+            )
+        return self._mutator
+
+    def invalidate_results(self) -> None:
+        """Drop every memoized result (the document just changed).
+
+        Prepared programs survive: preparation is pruning plus statement
+        rendering, both functions of the plan alone — a mutation changes
+        the data the statements run over, not the statements.
+        """
+        self._results.clear()
 
     @property
     def tree(self) -> XMLTree:
@@ -347,6 +375,76 @@ class QueryService:
         if store is None:
             raise UnknownDocumentError(f"unknown document {document_id!r}")
         store.close()
+
+    def update_document(
+        self,
+        mutations: Sequence[Union[Mutation, Dict]],
+        document_id: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Apply a mutation script to a registered document and invalidate.
+
+        Each mutation (a :mod:`repro.live.mutations` record or its JSON
+        object form) is DTD-validated and applied to the store's tree; the
+        merged :class:`~repro.live.delta.ShredDelta` then reaches the
+        backend through ``apply_delta`` in one shot, so the relational side
+        tracks the tree without re-shredding.  Invalidation is
+        version-aware: the store's result LRU is dropped (its entries were
+        computed over the old rows), while the plan cache and the store's
+        prepared programs survive — both are functions of the DTD and the
+        query alone, never of the data.
+
+        A mutation that fails validation raises :class:`MutationError`
+        *after* the preceding mutations of the script were applied and
+        flushed to the backend (the tree and the relational store never
+        diverge); callers wanting all-or-nothing should validate scripts on
+        a scratch copy first.  Updates on one store serialize on a lock;
+        interleaving an update with in-flight queries on the *same* store
+        from other threads is the caller's race to avoid (the process pool
+        serializes per worker, so the serving tier is safe).
+
+        Returns a summary dict: applied mutation count and delta row counts.
+        """
+        self._check_open()
+        store = self.store(document_id)
+        normalized = [
+            mutation_from_dict(m) if isinstance(m, dict) else m for m in mutations
+        ]
+        with store._update_lock, obs.span(
+            "update", document=store.document_id, mutations=len(normalized)
+        ) as update_sp:
+            mutator = store.mutator(self._dtd)
+            delta = ShredDelta()
+            error: Optional[MutationError] = None
+            applied = 0
+            # Defer DOC_ORDER diffing: one renumbering pass per script, not
+            # one per mutation (the flush covers exactly the applied prefix).
+            mutator.defer_order()
+            try:
+                for mutation in normalized:
+                    try:
+                        delta = merge_deltas(delta, mutator.apply(mutation))
+                        applied += 1
+                    except MutationError as exc:
+                        error = exc
+                        break
+            finally:
+                delta = merge_deltas(delta, mutator.flush_order())
+            if not delta.is_empty():
+                store.backend.apply_delta(delta)
+            store.invalidate_results()
+            obs.registry().counter("service.invalidations").inc()
+            if update_sp:
+                update_sp.set(
+                    applied=applied,
+                    rows_deleted=delta.delete_count(),
+                    rows_inserted=delta.insert_count(),
+                )
+        if error is not None:
+            raise error
+        summary: Dict[str, object] = dict(delta.summary())
+        summary["document"] = store.document_id
+        summary["applied"] = applied
+        return summary
 
     def store(self, document_id: Optional[str] = None) -> DocumentStore:
         """Resolve a document id (or the sole registered document)."""

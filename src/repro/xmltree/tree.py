@@ -114,6 +114,68 @@ class XMLTree:
         self._by_id[node_id] = child
         return child
 
+    # -- mutation ---------------------------------------------------------------
+
+    def insert_child(
+        self,
+        parent: XMLNode,
+        label: str,
+        value: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> XMLNode:
+        """Insert a new child at ``index`` (append when ``None``) and return it.
+
+        The new node gets the next free id; ids of deleted nodes are never
+        reused, so a node id names at most one element over the lifetime of
+        the tree (the live-update delta machinery relies on this).
+        """
+        if parent.node_id not in self._by_id or self._by_id[parent.node_id] is not parent:
+            raise KeyError(f"node {parent.node_id} is not part of this tree")
+        node_id = self._next_id
+        self._next_id += 1
+        child = XMLNode(node_id, label, value, parent=parent)
+        if index is None:
+            parent.children.append(child)
+        else:
+            if index < 0 or index > len(parent.children):
+                raise IndexError(
+                    f"child index {index} out of range for {len(parent.children)} children"
+                )
+            parent.children.insert(index, child)
+        self._by_id[node_id] = child
+        return child
+
+    def remove_subtree(self, node: XMLNode) -> List[XMLNode]:
+        """Detach ``node`` (and its subtree) from the tree.
+
+        Returns the removed nodes in document order.  The root cannot be
+        removed.  Freed ids are *not* recycled: ``_next_id`` only ever grows.
+        """
+        if node.node_id not in self._by_id or self._by_id[node.node_id] is not node:
+            raise KeyError(f"node {node.node_id} is not part of this tree")
+        if node.parent is None:
+            raise ValueError("cannot remove the root of the tree")
+        removed = node.descendants_or_self()
+        node.parent.children.remove(node)
+        node.parent = None
+        for gone in removed:
+            del self._by_id[gone.node_id]
+        return removed
+
+    def copy(self) -> "XMLTree":
+        """Return a deep copy preserving node ids and child order."""
+        new_root = XMLNode(self._root.node_id, self._root.label, self._root.value)
+        stack: List[Tuple[XMLNode, XMLNode]] = [(self._root, new_root)]
+        while stack:
+            old, new = stack.pop()
+            for child in old.children:
+                clone = XMLNode(child.node_id, child.label, child.value, parent=new)
+                new.children.append(clone)
+                stack.append((child, clone))
+        twin = XMLTree(new_root)
+        twin._next_id = self._next_id
+        return twin
+
     # -- accessors --------------------------------------------------------------
 
     @property

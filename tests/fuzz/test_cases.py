@@ -1,0 +1,106 @@
+"""Fuzz-case serialization: format 2 (mutations) and format-1 compatibility."""
+
+import json
+
+import pytest
+
+from repro.dtd import samples
+from repro.fuzz.cases import (
+    CASE_FORMAT_VERSION,
+    SUPPORTED_CASE_FORMATS,
+    DocumentSpec,
+    FuzzCase,
+)
+from repro.live.mutations import DeleteSubtree, InsertSubtree, ReplaceText
+
+
+def _dept_case(**overrides):
+    fields = dict(
+        label="case",
+        dtd_text=samples.paper_dtds()["dept"].to_text(),
+        query="dept//project",
+        document=DocumentSpec(max_elements=100, seed=5),
+    )
+    fields.update(overrides)
+    return FuzzCase(**fields)
+
+
+class TestFormatVersions:
+    def test_constants(self):
+        assert CASE_FORMAT_VERSION == 2
+        assert SUPPORTED_CASE_FORMATS == (1, 2)
+
+    def test_mutation_free_case_still_writes_format_1(self):
+        """The checked-in corpus must not churn: no mutations, no format bump."""
+        record = _dept_case().to_dict()
+        assert record["format"] == 1
+        assert "mutations" not in record
+
+    def test_mutation_carrying_case_writes_format_2(self):
+        case = _dept_case(mutations=(ReplaceText(3, "x"),))
+        record = case.to_dict()
+        assert record["format"] == 2
+        assert record["mutations"] == [
+            {"op": "replace_text", "node": 3, "value": "x"}
+        ]
+
+    def test_format_1_reads_back(self):
+        """A pre-live corpus file (no ``format`` key at all) still loads."""
+        record = _dept_case().to_dict()
+        del record["format"]
+        case = FuzzCase.from_dict(record)
+        assert case.query == "dept//project"
+        assert case.mutations == ()
+
+    def test_format_2_round_trips_with_mutations(self):
+        original = _dept_case(
+            mutations=(
+                InsertSubtree(2, ("project", None, ()), index=0),
+                DeleteSubtree(9),
+                ReplaceText(3, None),
+            )
+        )
+        restored = FuzzCase.from_json(original.to_json())
+        assert restored == original
+
+    def test_format_1_with_mutations_rejected(self):
+        record = _dept_case(mutations=(ReplaceText(3, "x"),)).to_dict()
+        record["format"] = 1
+        with pytest.raises(ValueError, match="format-1"):
+            FuzzCase.from_dict(record)
+
+    def test_unsupported_format_rejected(self):
+        record = _dept_case().to_dict()
+        record["format"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            FuzzCase.from_dict(record)
+
+    def test_malformed_mutation_payload_rejected(self):
+        record = _dept_case(mutations=(ReplaceText(3, "x"),)).to_dict()
+        record["mutations"] = [{"op": "teleport"}]
+        with pytest.raises(ValueError, match="malformed"):
+            FuzzCase.from_dict(record)
+
+
+class TestMutatedTree:
+    def test_mutated_tree_applies_the_script(self):
+        base_case = _dept_case()
+        tree = base_case.tree()
+        text_node = next(
+            node
+            for node in tree.nodes()
+            if node.label in base_case.dtd().text_types
+        )
+        case = _dept_case(mutations=(ReplaceText(text_node.node_id, "mutated"),))
+        mutated = case.mutated_tree()
+        assert mutated.node(text_node.node_id).value == "mutated"
+        # The base tree accessor is unaffected.
+        assert case.tree().node(text_node.node_id).value != "mutated"
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        case = _dept_case(mutations=(ReplaceText(3, "x"),))
+        path = tmp_path / "case.json"
+        case.save(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["format"] == 2
+        assert FuzzCase.load(path) == case

@@ -1,0 +1,114 @@
+"""Tests for :mod:`repro.live.fuzzer` — script generation and the dual-arm oracle."""
+
+import random
+
+import pytest
+
+from repro.dtd import samples
+from repro.fuzz.cases import DocumentSpec, FuzzCase
+from repro.live.fuzzer import (
+    MutationFuzzConfig,
+    MutationGenConfig,
+    MutationOracle,
+    RandomMutationGenerator,
+    run_mutation_fuzz,
+)
+from repro.live.mutations import DocumentMutator
+from repro.xmltree.generator import generate_document
+from repro.xmltree.validator import conforms
+
+ALL_SAMPLE_DTDS = sorted(samples.paper_dtds())
+
+
+class TestRandomMutationGenerator:
+    @pytest.mark.parametrize("dtd_name", ALL_SAMPLE_DTDS)
+    def test_scripts_are_schema_valid_on_every_sample_dtd(self, dtd_name):
+        dtd = samples.paper_dtds()[dtd_name]
+        tree = generate_document(dtd, x_l=7, x_r=3, seed=23, max_elements=150)
+        generator = RandomMutationGenerator(dtd, random.Random(5))
+        for _ in range(3):
+            script = generator.script(tree)
+            # The script must apply cleanly (DocumentMutator re-validates
+            # every step) and leave a conforming document behind.
+            DocumentMutator(tree, dtd).apply_script(script)
+            assert conforms(tree, dtd), dtd_name
+
+    def test_scripts_are_deterministic_under_a_seed(self):
+        dtd = samples.paper_dtds()["dept"]
+        tree = generate_document(dtd, x_l=7, x_r=3, seed=23, max_elements=150)
+        one = RandomMutationGenerator(dtd, random.Random(9)).script(tree)
+        two = RandomMutationGenerator(dtd, random.Random(9)).script(tree)
+        assert one == two
+
+    def test_script_length_respects_config(self):
+        dtd = samples.paper_dtds()["dept"]
+        tree = generate_document(dtd, x_l=7, x_r=3, seed=23, max_elements=150)
+        config = MutationGenConfig(mutations=2)
+        script = RandomMutationGenerator(dtd, random.Random(1), config).script(tree)
+        assert len(script) <= 2
+
+    def test_generation_does_not_mutate_the_input_tree(self):
+        dtd = samples.paper_dtds()["dept"]
+        tree = generate_document(dtd, x_l=7, x_r=3, seed=23, max_elements=150)
+        before = tree.size()
+        RandomMutationGenerator(dtd, random.Random(2)).script(tree)
+        assert tree.size() == before
+
+
+class TestMutationOracle:
+    def test_delta_and_scratch_arms_agree_on_a_paper_case(self):
+        dtd = samples.paper_dtds()["dept"]
+        case0 = FuzzCase(
+            label="oracle-probe",
+            dtd_text=dtd.to_text(),
+            query="dept//project",
+            document=DocumentSpec(max_elements=120, seed=3),
+        )
+        script = RandomMutationGenerator(dtd, random.Random(11)).script(case0.tree())
+        assert script, "probe document too constrained to mutate"
+        case = FuzzCase(
+            label="oracle-probe",
+            dtd_text=dtd.to_text(),
+            query="dept//project",
+            document=DocumentSpec(max_elements=120, seed=3),
+            mutations=tuple(script),
+        )
+        oracle = MutationOracle()
+        outcome = oracle.run(case)
+        assert outcome.setup_error is None
+        assert outcome.ok, [d.engine for d in outcome.disagreements]
+        # Every engine answered twice: once per arm.
+        assert any(name.endswith("@scratch") for name in outcome.engine_seconds)
+
+    def test_mutation_script_changes_the_answer_set(self):
+        """The oracle compares post-mutation answers, not the base document."""
+        dtd = samples.paper_dtds()["dept"]
+        case0 = FuzzCase(
+            label="probe",
+            dtd_text=dtd.to_text(),
+            query="dept//project",
+            document=DocumentSpec(max_elements=120, seed=3),
+        )
+        tree = case0.tree()
+        mutated = case0.mutated_tree()
+        assert tree.size() == mutated.size()  # no mutations: same document
+
+
+class TestRunMutationFuzz:
+    def test_fixed_seed_sweep_is_clean_and_reproducible(self):
+        config = MutationFuzzConfig(seed=17, budget=4)
+        report = run_mutation_fuzz(config)
+        again = run_mutation_fuzz(config)
+        assert report.cases_run == 4
+        assert not report.failures
+        assert again.cases_run == report.cases_run
+        assert [f.case.label for f in again.failures] == [
+            f.case.label for f in report.failures
+        ]
+
+    def test_failures_saved_to_corpus_dir(self, tmp_path):
+        # A clean sweep writes nothing; the corpus dir stays empty.
+        config = MutationFuzzConfig(seed=17, budget=2, corpus_dir=str(tmp_path))
+        report = run_mutation_fuzz(config)
+        assert not report.failures
+        assert list(tmp_path.glob("*.json")) == []

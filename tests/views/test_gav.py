@@ -1,9 +1,13 @@
 """Tests for query answering over GAV XML views (Sect. 3.4, Examples 3.2-3.4)."""
 
+import random
+
 import pytest
 
 from repro.dtd import samples
 from repro.errors import ViewError
+from repro.live.fuzzer import RandomMutationGenerator
+from repro.live.mutations import DocumentMutator
 from repro.views.gav import GAVView, answer_on_view, extract_view
 from repro.xmltree.generator import generate_document
 from repro.xmltree.validator import conforms
@@ -123,4 +127,44 @@ class TestQueryAnswering:
         gav = GAVView(view_dtd, source_dtd)
         native = {n.node_id for n in gav.answer("A//C", source_tree)}
         via_sql = {n.node_id for n in gav.answer_via_rdbms("A//C", source_tree)}
+        assert via_sql == native
+
+
+class TestViewsUnderMutation:
+    """Issue 10: GAV answering stays correct over a live-mutated source."""
+
+    @pytest.fixture()
+    def mutated_fig3(self, fig3):
+        view_dtd, source_dtd, source_tree = fig3
+        mutated = source_tree.copy()
+        script = RandomMutationGenerator(source_dtd, random.Random(31)).script(mutated)
+        assert script, "fig3 source too constrained to mutate"
+        DocumentMutator(mutated, source_dtd).apply_script(script)
+        return view_dtd, source_dtd, mutated
+
+    def test_mutated_source_still_conforms(self, mutated_fig3):
+        _, source_dtd, mutated = mutated_fig3
+        assert conforms(mutated, source_dtd)
+
+    def test_extracted_view_of_mutated_source_conforms(self, mutated_fig3):
+        view_dtd, _, mutated = mutated_fig3
+        assert conforms(extract_view(mutated, view_dtd), view_dtd)
+
+    @pytest.mark.parametrize("query", ["A//C", "A//B", "A/B/A"])
+    def test_rewrite_matches_materialized_view_after_mutation(
+        self, mutated_fig3, query
+    ):
+        """Q'(M(T)) = Q(V(M(T))): the view invariant survives source updates."""
+        view_dtd, source_dtd, mutated = mutated_fig3
+        gav = GAVView(view_dtd, source_dtd)
+        answered = gav.answer(query, mutated)
+        view = extract_view(mutated, view_dtd)
+        on_view = evaluate_xpath(view, parse_xpath(query))
+        assert len(answered) == len(on_view), query
+
+    def test_rdbms_arm_matches_native_after_mutation(self, mutated_fig3):
+        view_dtd, source_dtd, mutated = mutated_fig3
+        gav = GAVView(view_dtd, source_dtd)
+        native = {n.node_id for n in gav.answer("A//C", mutated)}
+        via_sql = {n.node_id for n in gav.answer_via_rdbms("A//C", mutated)}
         assert via_sql == native
